@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+
+	ocular "repro"
+)
+
+// algoSpec describes how to build one algorithm of the Table I suite: a
+// hyper-parameter candidate list (the paper's "we test a number of
+// hyper-parameters and report only the best results") and a trainer.
+type algoSpec struct {
+	name       string
+	candidates []any
+	train      func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error)
+}
+
+// suite returns the six algorithms of Table I with dataset-scaled
+// hyper-parameter grids. kBase scales the factorization ranks to the
+// dataset (the paper searched K in 100-200 on datasets ~16x larger).
+func suite(quick bool) []algoSpec {
+	ks := []int{30, 60}
+	lams := []float64{2, 8, 30}
+	rlams := []float64{30, 100, 300}
+	walsKs := []int{20, 40}
+	bprCands := []any{
+		ocular.BPRConfig{K: 20, Epochs: 40},
+		ocular.BPRConfig{K: 40, Epochs: 40},
+	}
+	nbrs := []int{20, 50, 100}
+	if quick {
+		ks, lams, rlams = []int{30}, []float64{8}, []float64{100}
+		walsKs = []int{40}
+		bprCands = bprCands[1:]
+		nbrs = []int{50}
+	}
+
+	var ocularCands, rocularCands []any
+	for _, k := range ks {
+		for _, l := range lams {
+			ocularCands = append(ocularCands, ocular.Config{K: k, Lambda: l, MaxIter: 150, Tol: 1e-5})
+		}
+		for _, l := range rlams {
+			rocularCands = append(rocularCands, ocular.Config{K: k, Lambda: l, MaxIter: 150, Tol: 1e-5, Relative: true})
+		}
+	}
+	var walsCands []any
+	for _, k := range walsKs {
+		walsCands = append(walsCands, ocular.WALSConfig{K: k, B: 0.01, Lambda: 0.01, Iters: 12})
+	}
+	var knnCands []any
+	for _, n := range nbrs {
+		knnCands = append(knnCands, ocular.KNNConfig{Neighbors: n})
+	}
+
+	return []algoSpec{
+		{
+			name:       "OCuLaR",
+			candidates: ocularCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				cfg := cand.(ocular.Config)
+				cfg.Seed = seed
+				res, err := ocular.Train(r, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return res.Model, nil
+			},
+		},
+		{
+			name:       "R-OCuLaR",
+			candidates: rocularCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				cfg := cand.(ocular.Config)
+				cfg.Seed = seed
+				res, err := ocular.Train(r, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return res.Model, nil
+			},
+		},
+		{
+			name:       "wALS",
+			candidates: walsCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				cfg := cand.(ocular.WALSConfig)
+				cfg.Seed = seed
+				return ocular.TrainWALS(r, cfg)
+			},
+		},
+		{
+			name:       "BPR",
+			candidates: bprCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				cfg := cand.(ocular.BPRConfig)
+				cfg.Seed = seed
+				return ocular.TrainBPR(r, cfg)
+			},
+		},
+		{
+			name:       "user-based",
+			candidates: knnCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				return ocular.TrainUserKNN(r, cand.(ocular.KNNConfig))
+			},
+		},
+		{
+			name:       "item-based",
+			candidates: knnCands,
+			train: func(r *ocular.Matrix, cand any, seed uint64) (ocular.Recommender, error) {
+				return ocular.TrainItemKNN(r, cand.(ocular.KNNConfig))
+			},
+		},
+	}
+}
+
+// tune picks, per algorithm, the candidate with the best recall@50 on the
+// given tuning split, mirroring the paper's protocol. It returns the chosen
+// candidate per spec index.
+func tune(specs []algoSpec, tr ocular.Split, seed uint64, m int) ([]any, error) {
+	chosen := make([]any, len(specs))
+	for si, spec := range specs {
+		if len(spec.candidates) == 1 {
+			chosen[si] = spec.candidates[0]
+			continue
+		}
+		best, bestRecall := -1, -1.0
+		for ci, cand := range spec.candidates {
+			rec, err := spec.train(tr.Train, cand, seed)
+			if err != nil {
+				return nil, fmt.Errorf("tuning %s candidate %d: %w", spec.name, ci, err)
+			}
+			r := ocular.Evaluate(rec, tr.Train, tr.Test, m).RecallAtM
+			if r > bestRecall {
+				best, bestRecall = ci, r
+			}
+		}
+		chosen[si] = spec.candidates[best]
+	}
+	return chosen, nil
+}

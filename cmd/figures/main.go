@@ -1,0 +1,90 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section on the synthetic substitute datasets (DESIGN.md §3-4).
+//
+// Usage:
+//
+//	figures -exp all            # everything (several minutes on one core)
+//	figures -exp table1         # Table I: six algorithms x three datasets
+//	figures -exp fig1,fig2,fig3 # the introductory toy experiments
+//	figures -exp fig7 -quick    # reduced budgets for a fast pass
+//
+// Output is plain text: one block per experiment with the same rows/series
+// the paper reports. Numbers are not expected to match the paper's absolute
+// values (the datasets are synthetic substitutes); the comparisons of
+// EXPERIMENTS.md are about ordering and shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type runConfig struct {
+	quick     bool
+	seed      uint64
+	instances int
+	out       io.Writer
+}
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(rc runConfig)
+}{
+	{"fig1", "toy overlapping co-clusters and OCuLaR's recommendations", runFig1},
+	{"fig2", "Modularity and BIGCLAM on the toy (they miss recommendations)", runFig2},
+	{"fig3", "fitted probability matrix and the worked explanation", runFig3},
+	{"table1", "MAP@50 / recall@50 for all six algorithms on three datasets", runTable1},
+	{"fig5", "recall@M and MAP@M curves on the MovieLens substitute", runFig5},
+	{"fig6", "recall and co-cluster metrics vs K for several lambda", runFig6},
+	{"fig7", "training time per iteration vs dataset fraction (linearity)", runFig7},
+	{"fig8", "serial vs parallel engine: objective-vs-time and speedup", runFig8},
+	{"fig9", "(K, lambda) grid-search heatmap on the B2B substitute", runFig9},
+	{"fig10", "deployment-style textual rationale with client names", runFig10},
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "comma-separated experiments: all, table1, fig1..fig10")
+		quick     = flag.Bool("quick", false, "reduced budgets (smaller grids, fewer instances)")
+		seed      = flag.Uint64("seed", 1, "base random seed")
+		instances = flag.Int("instances", 0, "problem instances to average for table1/fig5 (0 = default)")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("  %-7s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	rc := runConfig{quick: *quick, seed: *seed, instances: *instances, out: os.Stdout}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if want["all"] || want[e.name] {
+			e.run(rc)
+			ran++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no experiment matches %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func (rc runConfig) printf(format string, args ...any) {
+	fmt.Fprintf(rc.out, format, args...)
+}
+
+func (rc runConfig) header(title string) {
+	rc.printf("\n== %s ==\n\n", title)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsSmoke runs every experiment in quick mode and checks each
+// produces its expected headline content. This is the regression net for
+// the regenerators behind DESIGN.md §3.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take seconds; skipped with -short")
+	}
+	wantFragments := map[string][]string{
+		"fig1":   {"Figure 1", "HIT", "Planted co-clusters"},
+		"fig2":   {"Figure 2", "Modularity", "BIGCLAM", "OCuLaR"},
+		"fig3":   {"Figure 3", "recommended to User 6", "f_item4"},
+		"table1": {"Table I", "movielens-syn", "citeulike-syn", "b2b-syn", "wALS", "BPR"},
+		"fig5":   {"Figure 5", "recall@M", "MAP@M", "item-based"},
+		"fig6":   {"Figure 6", "users/cc", "density"},
+		"fig7":   {"Figure 7", "sec/iter", "linear"},
+		"fig8":   {"Figure 8", "speedup", "serial", "parallel"},
+		"fig9":   {"Figure 9", "best cell", "lambda"},
+		"fig10":  {"Figure 10", "recommended to Client", "co-cluster"},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.run(runConfig{quick: true, seed: 1, out: &buf})
+			out := buf.String()
+			if len(out) < 100 {
+				t.Fatalf("suspiciously short output (%d bytes):\n%s", len(out), out)
+			}
+			for _, frag := range wantFragments[e.name] {
+				if !strings.Contains(out, frag) {
+					t.Errorf("output missing %q", frag)
+				}
+			}
+		})
+	}
+}
+
+// TestFig1RecommendationsAllHit asserts the headline toy result end to end
+// through the regenerator itself.
+func TestFig1RecommendationsAllHit(t *testing.T) {
+	var buf bytes.Buffer
+	runFig1(runConfig{quick: true, seed: 1, out: &buf})
+	if got := strings.Count(buf.String(), "[HIT]"); got != 3 {
+		t.Fatalf("fig1 hits = %d, want 3:\n%s", got, buf.String())
+	}
+	if strings.Contains(buf.String(), "[MISS]") {
+		t.Fatal("fig1 contains a MISS")
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	ocular "repro"
+)
+
+// table1Datasets are the three datasets of Table I (Netflix is excluded
+// there, as in the paper: "not all baselines can be run for very large
+// datasets").
+func table1Datasets(seed uint64) []*ocular.Planted {
+	return []*ocular.Planted{
+		ocular.SyntheticMovieLens(seed),
+		ocular.SyntheticCiteULike(seed),
+		ocular.SyntheticB2B(seed),
+	}
+}
+
+// runTable1 reproduces Table I: MAP@50 and recall@50 of the six algorithms
+// on the MovieLens, CiteULike and B2B substitutes, averaged over
+// independent 75/25 problem instances, with per-algorithm hyper-parameter
+// tuning on a held-out instance (the paper's protocol).
+func runTable1(rc runConfig) {
+	rc.header("Table I: comparison with baseline one-class recommenders (MAP@50 / recall@50)")
+	const m = 50
+	instances := rc.instances
+	if instances == 0 {
+		if rc.quick {
+			instances = 1
+		} else {
+			instances = 3
+		}
+	}
+	specs := suite(rc.quick)
+
+	for _, d := range table1Datasets(rc.seed) {
+		rc.printf("%s\n", d)
+		// Tune on a dedicated split, then evaluate on fresh instances.
+		tuneSplit := ocular.SplitDataset(d.Dataset, 0.75, rc.seed*1000+999)
+		chosen, err := tune(specs, tuneSplit, rc.seed, m)
+		if err != nil {
+			panic(err)
+		}
+		rc.printf("  %-11s %10s %10s   (avg over %d instances)\n", "algorithm", "MAP@50", "recall@50", instances)
+		for si, spec := range specs {
+			var sumMAP, sumRecall float64
+			for inst := 0; inst < instances; inst++ {
+				sp := ocular.SplitDataset(d.Dataset, 0.75, rc.seed*1000+uint64(inst))
+				rec, err := spec.train(sp.Train, chosen[si], rc.seed+uint64(inst))
+				if err != nil {
+					panic(err)
+				}
+				met := ocular.Evaluate(rec, sp.Train, sp.Test, m)
+				sumMAP += met.MAPAtM
+				sumRecall += met.RecallAtM
+			}
+			rc.printf("  %-11s %10.4f %10.4f\n", spec.name,
+				sumMAP/float64(instances), sumRecall/float64(instances))
+		}
+		rc.printf("\n")
+	}
+}
+
+// runFig5 reproduces the recall@M / MAP@M curves of Fig 5 on the MovieLens
+// substitute for all six algorithms.
+func runFig5(rc runConfig) {
+	rc.header("Figure 5: recall@M and MAP@M vs M on the MovieLens substitute")
+	d := ocular.SyntheticMovieLens(rc.seed)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, rc.seed*1000)
+	specs := suite(rc.quick)
+	chosen, err := tune(specs, ocular.SplitDataset(d.Dataset, 0.75, rc.seed*1000+999), rc.seed, 50)
+	if err != nil {
+		panic(err)
+	}
+	ms := []int{5, 10, 20, 30, 50, 75, 100}
+	if rc.quick {
+		ms = []int{10, 50, 100}
+	}
+
+	type curve struct {
+		name string
+		mets []ocular.Metrics
+	}
+	var curves []curve
+	for si, spec := range specs {
+		rec, err := spec.train(sp.Train, chosen[si], rc.seed)
+		if err != nil {
+			panic(err)
+		}
+		curves = append(curves, curve{spec.name, ocular.EvaluateCurve(rec, sp.Train, sp.Test, ms)})
+	}
+
+	for _, metric := range []string{"recall@M", "MAP@M"} {
+		rc.printf("%s:\n  %-11s", metric, "M")
+		for _, m := range ms {
+			rc.printf("%9d", m)
+		}
+		rc.printf("\n")
+		for _, c := range curves {
+			rc.printf("  %-11s", c.name)
+			for n := range ms {
+				v := c.mets[n].RecallAtM
+				if metric == "MAP@M" {
+					v = c.mets[n].MAPAtM
+				}
+				rc.printf("%9.4f", v)
+			}
+			rc.printf("\n")
+		}
+		rc.printf("\n")
+	}
+}
+
+// runFig6 reproduces Fig 6: recall@50 and co-cluster shape metrics while
+// sweeping K for several regularization strengths. The lambda values are
+// scaled to the substitute's size (the paper's 0/30/100 were for the 16x
+// larger MovieLens 1M).
+func runFig6(rc runConfig) {
+	rc.header("Figure 6: recall and co-cluster metrics vs (K, lambda)")
+	d := ocular.SyntheticMovieLens(rc.seed)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, rc.seed*1000)
+	ks := []int{10, 20, 40, 60, 80}
+	lambdas := []float64{0, 5, 20}
+	if rc.quick {
+		ks = []int{10, 40}
+		lambdas = []float64{0, 5}
+	}
+	const threshold = 0.3
+
+	rc.printf("  %-8s %-8s %10s %12s %12s %12s %12s\n",
+		"lambda", "K", "recall@50", "users/cc", "items/cc", "density", "cc/user")
+	for _, lam := range lambdas {
+		for _, k := range ks {
+			res, err := ocular.Train(sp.Train, ocular.Config{
+				K: k, Lambda: lam, MaxIter: 60, Seed: rc.seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			met := ocular.Evaluate(res.Model, sp.Train, sp.Test, 50)
+			stats := ocular.CoClusterStatsOf(ocular.CoClusters(res.Model, threshold), sp.Train)
+			rc.printf("  %-8.4g %-8d %10.4f %12.1f %12.1f %12.3f %12.2f\n",
+				lam, k, met.RecallAtM, stats.MeanUsers, stats.MeanItems,
+				stats.MeanDensity, stats.MeanUserMemberships)
+		}
+		rc.printf("\n")
+	}
+}

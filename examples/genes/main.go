@@ -1,0 +1,102 @@
+// Gene-expression biclustering: the application the paper's conclusion
+// singles out ("the algorithm presented can be used for solving large
+// co-clustering problems in other disciplines as well, including ... the
+// analysis of gene expression data [33]"). Genes play the role of users,
+// experimental conditions the role of items, and an upregulation event is
+// a positive example. OCuLaR's overlapping co-clusters are transcription
+// modules; genes belong to several pathways, which is precisely what
+// non-overlapping biclustering cannot express.
+//
+// The example trains OCuLaR on synthetic expression data with planted
+// overlapping modules and scores recovery/relevance in the style of Prelic
+// et al. 2006, against a non-overlapping modularity baseline.
+//
+// Run with: go run ./examples/genes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ocular "repro"
+
+	"repro/internal/explain"
+	"repro/internal/graph"
+)
+
+func main() {
+	d := ocular.SyntheticGeneExpression(5)
+	fmt.Println(d.Dataset)
+	fmt.Printf("planted transcription modules: %d (overlapping)\n\n", len(d.Clusters))
+
+	res, err := ocular.Train(d.R, ocular.Config{
+		K: len(d.Clusters), Lambda: 3, MaxIter: 120, Tol: 1e-6, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := ocular.CoClusters(res.Model, 0.3)
+
+	planted := make([]explain.Module, len(d.Clusters))
+	for n, c := range d.Clusters {
+		planted[n] = explain.ModuleOfPlanted(c)
+	}
+	modules := make([]explain.Module, 0, len(found))
+	for _, c := range found {
+		if len(c.Users) > 0 && len(c.Items) > 0 {
+			modules = append(modules, explain.ModuleOf(c))
+		}
+	}
+
+	fmt.Printf("OCuLaR:     recovery %.3f, relevance %.3f (%d modules found)\n",
+		explain.RecoveryScore(planted, modules),
+		explain.RelevanceScore(planted, modules), len(modules))
+
+	// Non-overlapping baseline: modularity on the gene-condition graph.
+	part := ocular.DetectModularity(graph.NewBipartite(d.R))
+	var baseline []explain.Module
+	for _, set := range part.Communities() {
+		var m explain.Module
+		for _, v := range set {
+			if v < d.Users() {
+				m.Users = append(m.Users, v)
+			} else {
+				m.Items = append(m.Items, v-d.Users())
+			}
+		}
+		if len(m.Users) > 0 && len(m.Items) > 0 {
+			baseline = append(baseline, m)
+		}
+	}
+	fmt.Printf("Modularity: recovery %.3f, relevance %.3f (%d modules found)\n\n",
+		explain.RecoveryScore(planted, baseline),
+		explain.RelevanceScore(planted, baseline), len(baseline))
+
+	// Show one recovered module with gene/condition names.
+	best, bestScore := -1, 0.0
+	for n, m := range modules {
+		if s := explain.RecoveryScore(planted, []explain.Module{m}); s > bestScore {
+			best, bestScore = n, s
+		}
+	}
+	if best >= 0 {
+		m := modules[best]
+		fmt.Printf("best-matching module (%d genes x %d conditions):\n  genes: ", len(m.Users), len(m.Items))
+		for n, g := range m.Users {
+			if n == 6 {
+				fmt.Printf("... (+%d more)", len(m.Users)-6)
+				break
+			}
+			fmt.Printf("%s ", d.UserName(g))
+		}
+		fmt.Printf("\n  conditions: ")
+		for n, c := range m.Items {
+			if n == 8 {
+				fmt.Printf("... (+%d more)", len(m.Items)-8)
+				break
+			}
+			fmt.Printf("%s ", d.ItemName(c))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,99 @@
+// MovieLens-style benchmark: compare all six algorithms of Table I on the
+// MovieLens substitute dataset with a single 75/25 split, printing
+// recall@M and MAP@M for several cutoffs (the Fig 5 setting at example
+// scale).
+//
+// Run with: go run ./examples/movielens
+//
+// To run on the real MovieLens 1M data instead, pass the path to
+// ratings.dat: go run ./examples/movielens /path/to/ratings.dat
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	ocular "repro"
+)
+
+func main() {
+	var d *ocular.Dataset
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		loaded, err := ocular.LoadRatings(f, "movielens-1m", ocular.MovieLensOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d = loaded
+	} else {
+		d = ocular.SyntheticMovieLens(11).Dataset
+	}
+	fmt.Println(d)
+
+	sp := ocular.SplitDataset(d, 0.75, 11)
+	ms := []int{10, 25, 50, 100}
+
+	type algo struct {
+		name  string
+		train func() (ocular.Recommender, error)
+	}
+	algos := []algo{
+		{"OCuLaR", func() (ocular.Recommender, error) {
+			res, err := ocular.Train(sp.Train, ocular.Config{K: 40, Lambda: 8, MaxIter: 100, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return res.Model, nil
+		}},
+		{"R-OCuLaR", func() (ocular.Recommender, error) {
+			res, err := ocular.Train(sp.Train, ocular.Config{K: 40, Lambda: 100, MaxIter: 100, Relative: true, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			return res.Model, nil
+		}},
+		{"wALS", func() (ocular.Recommender, error) {
+			return ocular.TrainWALS(sp.Train, ocular.WALSConfig{K: 40, B: 0.01, Lambda: 0.01, Iters: 12, Seed: 1})
+		}},
+		{"BPR", func() (ocular.Recommender, error) {
+			return ocular.TrainBPR(sp.Train, ocular.BPRConfig{K: 40, Epochs: 40, Seed: 1})
+		}},
+		{"user-based", func() (ocular.Recommender, error) {
+			return ocular.TrainUserKNN(sp.Train, ocular.KNNConfig{Neighbors: 50})
+		}},
+		{"item-based", func() (ocular.Recommender, error) {
+			return ocular.TrainItemKNN(sp.Train, ocular.KNNConfig{Neighbors: 50})
+		}},
+	}
+
+	fmt.Printf("\n%-11s", "recall@M")
+	for _, m := range ms {
+		fmt.Printf("%9d", m)
+	}
+	fmt.Printf("  | %-9s", "MAP@M")
+	for _, m := range ms {
+		fmt.Printf("%9d", m)
+	}
+	fmt.Println()
+	for _, a := range algos {
+		rec, err := a.train()
+		if err != nil {
+			log.Fatalf("%s: %v", a.name, err)
+		}
+		curve := ocular.EvaluateCurve(rec, sp.Train, sp.Test, ms)
+		fmt.Printf("%-11s", a.name)
+		for _, c := range curve {
+			fmt.Printf("%9.4f", c.RecallAtM)
+		}
+		fmt.Printf("  | %-9s", "")
+		for _, c := range curve {
+			fmt.Printf("%9.4f", c.MAPAtM)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,133 @@
+package ocular_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	ocular "repro"
+)
+
+// TestFacadeModelPersistence: a deployment-shaped flow — train, save,
+// reload, serve identical recommendations.
+func TestFacadeModelPersistence(t *testing.T) {
+	d := ocular.SyntheticSmall(40)
+	res, err := ocular.Train(d.R, ocular.Config{K: 6, Lambda: 2, MaxIter: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := res.Model.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ocular.ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.Users(); u += 13 {
+		a := ocular.Recommend(res.Model, d.R, u, 5)
+		b := ocular.Recommend(loaded, d.R, u, 5)
+		for n := range a {
+			if a[n] != b[n] {
+				t.Fatalf("user %d: recommendations differ after reload", u)
+			}
+		}
+	}
+}
+
+// TestFacadeFoldIn: onboard an unseen client from its purchase history and
+// get plausible scores without retraining.
+func TestFacadeFoldIn(t *testing.T) {
+	d := ocular.SyntheticSmall(41)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, 41)
+	res, err := ocular.Train(sp.Train, ocular.Config{K: 8, Lambda: 2, MaxIter: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Treat user 0's train positives as a "new" client's history.
+	row := sp.Train.Row(0)
+	items := make([]int, len(row))
+	for n, i := range row {
+		items[n] = int(i)
+	}
+	f, bias, err := res.Model.FoldInUser(items, ocular.Config{Lambda: 2, MaxIter: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, d.Items())
+	res.Model.ScoreWithFactor(f, bias, scores)
+	var posMean, posN, unkMean, unkN float64
+	for i, s := range scores {
+		if math.IsNaN(s) || s < 0 || s >= 1 {
+			t.Fatalf("fold-in score %v invalid", s)
+		}
+		if sp.Train.Has(0, i) {
+			posMean += s
+			posN++
+		} else {
+			unkMean += s
+			unkN++
+		}
+	}
+	if posMean/posN <= unkMean/unkN {
+		t.Fatalf("fold-in scores do not separate history (%v) from unknowns (%v)",
+			posMean/posN, unkMean/unkN)
+	}
+}
+
+// TestFacadeMatrixMarketRoundTrip: dataset interchange through the facade.
+func TestFacadeMatrixMarketRoundTrip(t *testing.T) {
+	d := ocular.SyntheticSmall(42)
+	var buf bytes.Buffer
+	if err := ocular.WriteMatrixMarket(&buf, d.R); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ocular.ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(d.R) {
+		t.Fatal("MatrixMarket round trip lost data")
+	}
+}
+
+// TestFacadeSubsampleForScalability mirrors the Fig 7 mechanism.
+func TestFacadeSubsampleForScalability(t *testing.T) {
+	d := ocular.SyntheticSmall(43)
+	half := ocular.Subsample(d.R, 0.5, 7)
+	if got, want := half.NNZ(), int(float64(d.R.NNZ())*0.5+0.5); got != want {
+		t.Fatalf("subsample nnz = %d, want %d", got, want)
+	}
+}
+
+// TestFacadeBiasAndGradStepsOptions exercises the Section IV-A extension
+// and the GradSteps ablation knob through the public Config.
+func TestFacadeBiasAndGradStepsOptions(t *testing.T) {
+	d := ocular.SyntheticSmall(44)
+	res, err := ocular.Train(d.R, ocular.Config{K: 4, Lambda: 2, MaxIter: 15, Seed: 1, Bias: true, GradSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Model.HasBias() {
+		t.Fatal("bias model lost flag through facade")
+	}
+	for n := 1; n < len(res.Objective); n++ {
+		if res.Objective[n] > res.Objective[n-1]+1e-9*math.Abs(res.Objective[n-1]) {
+			t.Fatal("objective increased")
+		}
+	}
+}
+
+// TestFacadeGeneExpressionPreset sanity-checks the future-work dataset.
+func TestFacadeGeneExpressionPreset(t *testing.T) {
+	d := ocular.SyntheticGeneExpression(1)
+	if d.Users() != 900 || d.Items() != 80 {
+		t.Fatalf("gene preset shape %dx%d", d.Users(), d.Items())
+	}
+	if len(d.Clusters) != 8 {
+		t.Fatalf("gene preset modules = %d", len(d.Clusters))
+	}
+	if d.UserName(0) != "GENE0001" || d.ItemName(0) != "cond-01" {
+		t.Fatalf("gene names wrong: %q %q", d.UserName(0), d.ItemName(0))
+	}
+}

@@ -1,0 +1,35 @@
+// Package popularity implements the non-personalized most-popular baseline:
+// every user is recommended the globally most-purchased items they do not
+// own yet. OCCF papers use it as the floor any personalized method must
+// clear; it also quantifies how much of a dataset's recall is explained by
+// popularity skew alone.
+package popularity
+
+import "repro/internal/sparse"
+
+// Model scores items by global popularity. It implements eval.Recommender.
+type Model struct {
+	users  int
+	counts []float64 // per-item positive counts
+}
+
+// Train counts item popularity in r.
+func Train(r *sparse.Matrix) *Model {
+	m := &Model{users: r.Rows(), counts: make([]float64, r.Cols())}
+	r.Each(func(_, i int) { m.counts[i]++ })
+	return m
+}
+
+// NumUsers returns the number of users the model was trained on.
+func (m *Model) NumUsers() int { return m.users }
+
+// NumItems returns the number of items the model was trained on.
+func (m *Model) NumItems() int { return len(m.counts) }
+
+// Count returns the training popularity of item i.
+func (m *Model) Count(i int) int { return int(m.counts[i]) }
+
+// ScoreUser writes the same popularity scores for every user.
+func (m *Model) ScoreUser(_ int, dst []float64) {
+	copy(dst, m.counts)
+}

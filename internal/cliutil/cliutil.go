@@ -1,0 +1,90 @@
+// Package cliutil holds the flag-parsing helpers shared by the command-line
+// tools: dataset resolution from -data/-preset flags and list parsing.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// Presets lists the accepted -preset names.
+var Presets = []string{"movielens", "citeulike", "b2b", "netflix", "genes", "small"}
+
+// LoadData resolves the -data/-preset flag pair into a dataset. Exactly one
+// of path and preset must be non-empty. Files ending in .mtx are parsed as
+// MatrixMarket; everything else as separated ratings lines.
+func LoadData(path, sep string, threshold float64, preset string, seed uint64) (*dataset.Dataset, error) {
+	switch {
+	case path != "" && preset != "":
+		return nil, fmt.Errorf("-data and -preset are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(path, ".mtx") {
+			m, err := sparse.ReadMatrixMarket(f)
+			if err != nil {
+				return nil, err
+			}
+			return &dataset.Dataset{Name: path, R: m}, nil
+		}
+		return dataset.LoadRatings(f, path, dataset.LoadOptions{Sep: sep, Threshold: threshold})
+	case preset != "":
+		return LoadPreset(preset, seed)
+	default:
+		return nil, fmt.Errorf("pass -data FILE or -preset NAME (one of %s)", strings.Join(Presets, ", "))
+	}
+}
+
+// LoadPreset resolves a synthetic preset by name.
+func LoadPreset(preset string, seed uint64) (*dataset.Dataset, error) {
+	switch preset {
+	case "movielens":
+		return dataset.SyntheticMovieLens(seed).Dataset, nil
+	case "citeulike":
+		return dataset.SyntheticCiteULike(seed).Dataset, nil
+	case "b2b":
+		return dataset.SyntheticB2B(seed).Dataset, nil
+	case "netflix":
+		return dataset.SyntheticNetflix(seed, 0.25).Dataset, nil
+	case "genes":
+		return dataset.SyntheticGeneExpression(seed).Dataset, nil
+	case "small":
+		return dataset.SyntheticSmall(seed).Dataset, nil
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want one of %s)", preset, strings.Join(Presets, ", "))
+	}
+}
+
+// ParseInts parses a comma-separated integer list.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestLoadPresetAll(t *testing.T) {
+	for _, name := range Presets {
+		if name == "netflix" || name == "movielens" || name == "citeulike" || name == "b2b" || name == "genes" {
+			continue // large presets are covered by the dataset package tests
+		}
+		d, err := LoadPreset(name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if d.R.NNZ() == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+	}
+	if _, err := LoadPreset("nope", 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestLoadDataMutuallyExclusive(t *testing.T) {
+	if _, err := LoadData("f", ",", 0, "small", 1); err == nil {
+		t.Error("-data with -preset accepted")
+	}
+	if _, err := LoadData("", ",", 0, "", 1); err == nil {
+		t.Error("neither flag accepted")
+	}
+	if _, err := LoadData("/does/not/exist", ",", 0, "", 1); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadDataCSV(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "r.csv")
+	if err := os.WriteFile(p, []byte("a,x\nb,y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadData(p, ",", 0, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Users() != 2 || d.Items() != 2 {
+		t.Fatalf("shape %dx%d", d.Users(), d.Items())
+	}
+}
+
+func TestLoadDataMatrixMarket(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "m.mtx")
+	m := sparse.FromDense([][]bool{{true, false}, {true, true}})
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, m); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d, err := LoadData(p, ",", 0, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.R.Equal(m) {
+		t.Fatal("MatrixMarket file round trip through LoadData failed")
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	ints, err := ParseInts(" 1, 2 ,3")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Fatalf("ParseInts = %v, %v", ints, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+	fs, err := ParseFloats("0.5,2")
+	if err != nil || len(fs) != 2 || fs[0] != 0.5 {
+		t.Fatalf("ParseFloats = %v, %v", fs, err)
+	}
+	if _, err := ParseFloats("1,,2"); err == nil {
+		t.Error("empty float accepted")
+	}
+}

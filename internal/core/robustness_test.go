@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// Degenerate matrix shapes the trainer must survive without NaNs, panics,
+// or objective increases.
+
+func checkModelFinite(t *testing.T, res *Result) {
+	t.Helper()
+	for _, v := range res.Model.fu {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("invalid user factor %v", v)
+		}
+	}
+	for _, v := range res.Model.fi {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("invalid item factor %v", v)
+		}
+	}
+	for n := 1; n < len(res.Objective); n++ {
+		if math.IsNaN(res.Objective[n]) {
+			t.Fatalf("NaN objective at iteration %d", n)
+		}
+		if res.Objective[n] > res.Objective[n-1]+1e-9*math.Abs(res.Objective[n-1]) {
+			t.Fatalf("objective increased at iteration %d", n)
+		}
+	}
+}
+
+func TestTrainEmptyMatrix(t *testing.T) {
+	m := sparse.NewBuilder(10, 10).Build()
+	res, err := Train(m, Config{K: 3, Lambda: 1, MaxIter: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	// With no positives the likelihood pressure is all downward: factors
+	// must collapse toward zero, predictions toward zero probability.
+	if p := res.Model.Predict(0, 0); p > 0.05 {
+		t.Fatalf("empty matrix prediction %v, want ~0", p)
+	}
+}
+
+func TestTrainFullMatrix(t *testing.T) {
+	// Every pair positive: the model should push probabilities high and
+	// stay numerically sane despite no negative pressure except λ.
+	d := make([][]bool, 8)
+	for i := range d {
+		d[i] = make([]bool, 6)
+		for j := range d[i] {
+			d[i][j] = true
+		}
+	}
+	m := sparse.FromDense(d)
+	res, err := Train(m, Config{K: 2, Lambda: 0.1, MaxIter: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	var mean float64
+	for u := 0; u < 8; u++ {
+		for i := 0; i < 6; i++ {
+			mean += res.Model.Predict(u, i)
+		}
+	}
+	mean /= 48
+	if mean < 0.7 {
+		t.Fatalf("full matrix mean probability %v, want high", mean)
+	}
+}
+
+func TestTrainSingleRowAndColumn(t *testing.T) {
+	// 1 user x N items.
+	b := sparse.NewBuilder(1, 10)
+	for i := 0; i < 5; i++ {
+		b.Add(0, i*2)
+	}
+	res, err := Train(b.Build(), Config{K: 2, Lambda: 0.5, MaxIter: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+
+	// N users x 1 item.
+	b2 := sparse.NewBuilder(10, 1)
+	for u := 0; u < 5; u++ {
+		b2.Add(u*2, 0)
+	}
+	res2, err := Train(b2.Build(), Config{K: 2, Lambda: 0.5, MaxIter: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res2)
+}
+
+func TestTrainDiagonalMatrix(t *testing.T) {
+	// Each user owns exactly one private item: no co-cluster structure at
+	// all. The model must not hallucinate strong cross recommendations.
+	n := 12
+	b := sparse.NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i)
+	}
+	res, err := Train(b.Build(), Config{K: 4, Lambda: 1, MaxIter: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	for u := 0; u < n; u++ {
+		for i := 0; i < n; i++ {
+			if u != i && res.Model.Predict(u, i) > 0.5 {
+				t.Fatalf("diagonal data: strong spurious P(%d,%d)=%v", u, i, res.Model.Predict(u, i))
+			}
+		}
+	}
+}
+
+func TestTrainKLargerThanData(t *testing.T) {
+	// K far above the information content must still behave (regularization
+	// kills unused dimensions).
+	m := sparse.FromDense([][]bool{
+		{true, true, false},
+		{true, true, false},
+		{false, false, true},
+	})
+	res, err := Train(m, Config{K: 20, Lambda: 0.5, MaxIter: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	if p := res.Model.Predict(1, 0); p < 0.3 {
+		t.Fatalf("overparameterized model underfits obvious positive: %v", p)
+	}
+}
+
+func TestTrainExtremeLambda(t *testing.T) {
+	m := smallMatrix(70, 20, 15, 80)
+	// Enormous λ: factors shrink to ~0, probabilities to ~0 — but no NaNs.
+	res, err := Train(m, Config{K: 3, Lambda: 1e6, MaxIter: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	if p := res.Model.Predict(0, 0); p > 0.2 {
+		t.Fatalf("huge lambda still predicts %v", p)
+	}
+}
+
+func TestTrainOneByOne(t *testing.T) {
+	b := sparse.NewBuilder(1, 1)
+	b.Add(0, 0)
+	res, err := Train(b.Build(), Config{K: 1, Lambda: 0.01, MaxIter: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkModelFinite(t, res)
+	if p := res.Model.Predict(0, 0); p < 0.5 {
+		t.Fatalf("1x1 positive fit probability %v", p)
+	}
+}

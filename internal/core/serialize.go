@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// modelMagic identifies the serialized model format; the trailing digit is
+// the format version.
+const modelMagic = "OCuLaR:1"
+
+// maxModelDim bounds the accepted dimensions when reading, as a guard
+// against corrupt or hostile headers allocating absurd amounts of memory.
+const maxModelDim = 1 << 28
+
+// WriteTo serializes the model in a compact little-endian binary format:
+// an 8-byte magic, the dimensions, a bias flag, then the factor (and bias)
+// arrays. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	n := int64(0)
+	count := func(k int, err error) error {
+		n += int64(k)
+		return err
+	}
+	if err := count(bw.WriteString(modelMagic)); err != nil {
+		return n, err
+	}
+	hasBias := uint64(0)
+	if m.bu != nil {
+		hasBias = 1
+	}
+	for _, v := range []uint64{uint64(m.k), uint64(m.users), uint64(m.items), hasBias} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return n, err
+		}
+		n += 8
+	}
+	for _, arr := range [][]float64{m.fu, m.fi, m.bu, m.bi} {
+		if arr == nil {
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, arr); err != nil {
+			return n, err
+		}
+		n += int64(8 * len(arr))
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteTo, validating the header
+// and rejecting non-finite or negative factors (which no trained model can
+// contain, so they indicate corruption).
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading model magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("core: bad model magic %q (want %q)", magic, modelMagic)
+	}
+	var dims [4]uint64
+	for i := range dims {
+		if err := binary.Read(br, binary.LittleEndian, &dims[i]); err != nil {
+			return nil, fmt.Errorf("core: reading model header: %w", err)
+		}
+	}
+	k, users, items, hasBias := dims[0], dims[1], dims[2], dims[3]
+	switch {
+	case k == 0 || k > maxModelDim:
+		return nil, fmt.Errorf("core: implausible K=%d in model header", k)
+	case users > maxModelDim || items > maxModelDim:
+		return nil, fmt.Errorf("core: implausible shape %dx%d in model header", users, items)
+	case hasBias > 1:
+		return nil, fmt.Errorf("core: bad bias flag %d in model header", hasBias)
+	case users*k > maxModelDim || items*k > maxModelDim:
+		return nil, fmt.Errorf("core: model %dx%d with K=%d exceeds size guard", users, items, k)
+	}
+	m := &Model{
+		k:     int(k),
+		users: int(users),
+		items: int(items),
+		fu:    make([]float64, users*k),
+		fi:    make([]float64, items*k),
+	}
+	arrays := [][]float64{m.fu, m.fi}
+	if hasBias == 1 {
+		m.bu = make([]float64, users)
+		m.bi = make([]float64, items)
+		arrays = append(arrays, m.bu, m.bi)
+	}
+	for _, arr := range arrays {
+		if err := binary.Read(br, binary.LittleEndian, arr); err != nil {
+			return nil, fmt.Errorf("core: reading model factors: %w", err)
+		}
+		for _, v := range arr {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("core: corrupt model: factor %v out of domain", v)
+			}
+		}
+	}
+	// A well-formed stream ends exactly here.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("core: trailing bytes after model payload")
+	}
+	return m, nil
+}

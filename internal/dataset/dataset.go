@@ -1,0 +1,101 @@
+// Package dataset provides the data substrate for the reproduction: the
+// Dataset type (a one-class rating matrix plus optional user/item names),
+// file loaders for the public datasets the paper uses, train/test splitting
+// with the paper's 75/25 protocol, and synthetic generators that substitute
+// for the proprietary or oversized datasets (see DESIGN.md §4).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// Dataset bundles a one-class interaction matrix with display names. Rows
+// are users (clients), columns are items (products). Names may be nil, in
+// which case DefaultUserName/DefaultItemName style labels are synthesized on
+// demand.
+type Dataset struct {
+	// Name identifies the dataset in reports, e.g. "movielens-syn".
+	Name string
+	// R is the positive-example matrix: R.Has(u,i) means r_ui = 1.
+	R *sparse.Matrix
+	// UserNames and ItemNames are optional display labels, indexed by
+	// row/column. Either may be nil.
+	UserNames []string
+	ItemNames []string
+}
+
+// Users returns the number of users (rows).
+func (d *Dataset) Users() int { return d.R.Rows() }
+
+// Items returns the number of items (columns).
+func (d *Dataset) Items() int { return d.R.Cols() }
+
+// UserName returns the display name for user u, synthesizing "User u" when
+// no names were provided.
+func (d *Dataset) UserName(u int) string {
+	if d.UserNames != nil && u < len(d.UserNames) && d.UserNames[u] != "" {
+		return d.UserNames[u]
+	}
+	return fmt.Sprintf("User %d", u)
+}
+
+// ItemName returns the display name for item i, synthesizing "Item i" when
+// no names were provided.
+func (d *Dataset) ItemName(i int) string {
+	if d.ItemNames != nil && i < len(d.ItemNames) && d.ItemNames[i] != "" {
+		return d.ItemNames[i]
+	}
+	return fmt.Sprintf("Item %d", i)
+}
+
+// String describes the dataset shape, e.g. "movielens-syn: 1200 users x 800
+// items, 28950 positives (3.02% dense)".
+func (d *Dataset) String() string {
+	return fmt.Sprintf("%s: %d users x %d items, %d positives (%.2f%% dense)",
+		d.Name, d.Users(), d.Items(), d.R.NNZ(), 100*d.R.Density())
+}
+
+// Split is a train/test division of the positives of a dataset. Both parts
+// keep the full matrix shape so user/item indices stay aligned.
+type Split struct {
+	Train *sparse.Matrix
+	Test  *sparse.Matrix
+}
+
+// SplitEntries splits the positives of m uniformly at random into a training
+// matrix holding a trainFrac fraction (rounded) and a test matrix holding
+// the rest. This is the protocol of Section VII-B2 of the paper
+// (75/25 split, repeated over independent problem instances by reseeding).
+// It panics unless 0 < trainFrac < 1.
+func SplitEntries(m *sparse.Matrix, trainFrac float64, r *rng.RNG) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic("dataset: trainFrac must be in (0,1)")
+	}
+	n := m.NNZ()
+	perm := r.Perm(n)
+	nTrain := int(float64(n)*trainFrac + 0.5)
+	return Split{
+		Train: m.SelectEntries(perm[:nTrain]),
+		Test:  m.SelectEntries(perm[nTrain:]),
+	}
+}
+
+// SubsampleEntries returns a matrix with a uniformly random frac of the
+// positives of m, preserving the shape. frac outside (0,1] panics; frac == 1
+// returns a matrix equal to m. This is the mechanism behind the Fig 7
+// scalability sweep ("increasing fractions of the Netflix dataset ... chosen
+// uniformly").
+func SubsampleEntries(m *sparse.Matrix, frac float64, r *rng.RNG) *sparse.Matrix {
+	if frac <= 0 || frac > 1 {
+		panic("dataset: frac must be in (0,1]")
+	}
+	n := m.NNZ()
+	k := int(float64(n)*frac + 0.5)
+	if k > n {
+		k = n
+	}
+	return m.SelectEntries(r.Sample(n, k))
+}

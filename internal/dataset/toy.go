@@ -1,0 +1,67 @@
+package dataset
+
+import "repro/internal/sparse"
+
+// ToyCoCluster describes one planted co-cluster of the paper's introductory
+// example: a set of users and a set of items.
+type ToyCoCluster struct {
+	Users []int
+	Items []int
+}
+
+// Toy is the 12x12 running example of Figures 1-3 of the paper: three
+// overlapping user-item co-clusters with three positives withheld inside
+// them. A correct overlapping co-clustering recommender should surface
+// exactly the withheld pairs; the paper shows that non-overlapping
+// community detection (Fig 2) recovers at most one of them.
+type Toy struct {
+	*Dataset
+	// Clusters are the planted ground-truth co-clusters.
+	Clusters []ToyCoCluster
+	// Held are the withheld in-cluster positives, i.e. the expected
+	// recommendations, as (user, item) pairs.
+	Held [][2]int
+}
+
+// PaperToy reconstructs the paper's example. The geometry follows Figure 3:
+//
+//   - co-cluster 1: users {0,1,2}   x items {3,4,5,6}
+//   - co-cluster 2: users {4,5,6}   x items {1,2,3,4}
+//   - co-cluster 3: users {6,7,8,9} x items {4,...,9}
+//
+// User 6 overlaps clusters 2 and 3; item 4 lies in all three clusters,
+// matching the worked interpretation in Section IV-C ("Item 4 is in all
+// three co-clusters, while User 6 is in co-clusters 2 and 3 only"). Three
+// in-cluster positives are withheld: (1,6), (5,1) and (6,4); these are the
+// three candidate recommendations of Figure 1. The (6,4) pair is the
+// worked example: item 4's support spans both of user 6's co-clusters, so
+// its fitted probability lands near the paper's reported 0.83. Users 3, 10,
+// 11 and items 0, 10, 11 are deliberately untouched so the matrix has empty
+// margins as in the figure.
+func PaperToy() *Toy {
+	clusters := []ToyCoCluster{
+		{Users: []int{0, 1, 2}, Items: []int{3, 4, 5, 6}},
+		{Users: []int{4, 5, 6}, Items: []int{1, 2, 3, 4}},
+		{Users: []int{6, 7, 8, 9}, Items: []int{4, 5, 6, 7, 8, 9}},
+	}
+	held := [][2]int{{1, 6}, {5, 1}, {6, 4}}
+	heldSet := make(map[[2]int]bool, len(held))
+	for _, h := range held {
+		heldSet[h] = true
+	}
+	b := sparse.NewBuilder(12, 12)
+	for _, cl := range clusters {
+		for _, u := range cl.Users {
+			for _, i := range cl.Items {
+				if !heldSet[[2]int{u, i}] {
+					b.Add(u, i)
+				}
+			}
+		}
+	}
+	return &Toy{
+		Dataset:  &Dataset{Name: "paper-toy", R: b.Build()},
+		Clusters: clusters,
+		Held:     held,
+	}
+}

@@ -1,0 +1,81 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	train := sparse.NewBuilder(1, 4).Build()
+	test := sparse.FromDense([][]bool{{true, false, false, false}})
+	rec := &fixedRec{scores: [][]float64{{10, 1, 2, 3}}}
+	if auc := AUC(rec, train, test); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+}
+
+func TestAUCWorst(t *testing.T) {
+	train := sparse.NewBuilder(1, 4).Build()
+	test := sparse.FromDense([][]bool{{true, false, false, false}})
+	rec := &fixedRec{scores: [][]float64{{-10, 1, 2, 3}}}
+	if auc := AUC(rec, train, test); auc != 0 {
+		t.Fatalf("worst AUC = %v", auc)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	r := rng.New(5)
+	nu, ni := 200, 50
+	bt := sparse.NewBuilder(nu, ni)
+	scores := make([][]float64, nu)
+	for u := 0; u < nu; u++ {
+		scores[u] = make([]float64, ni)
+		for i := 0; i < ni; i++ {
+			scores[u][i] = r.Float64()
+			if r.Bernoulli(0.1) {
+				bt.Add(u, i)
+			}
+		}
+	}
+	auc := AUC(&fixedRec{scores: scores}, sparse.NewBuilder(nu, ni).Build(), bt.Build())
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random scorer AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCHandComputedWithTies(t *testing.T) {
+	// Candidates (no training positives): scores [3, 1, 1, 0]; positive is
+	// item 1 (score 1, tied with item 2). Midrank of the tie (ranks 2,3) is
+	// 2.5; AUC = (2.5 − 1)/ (1·3) = 0.5.
+	train := sparse.NewBuilder(1, 4).Build()
+	test := sparse.FromDense([][]bool{{false, true, false, false}})
+	rec := &fixedRec{scores: [][]float64{{3, 1, 1, 0}}}
+	if auc := AUC(rec, train, test); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCExcludesTrainingPositives(t *testing.T) {
+	// Item 0 is a training positive with a huge score; it must not count as
+	// a negative competitor.
+	train := sparse.FromDense([][]bool{{true, false, false}})
+	test := sparse.FromDense([][]bool{{false, true, false}})
+	rec := &fixedRec{scores: [][]float64{{100, 5, 1}}}
+	if auc := AUC(rec, train, test); auc != 1 {
+		t.Fatalf("AUC = %v, want 1 (training positive excluded)", auc)
+	}
+}
+
+func TestAUCSkipsDegenerateUsers(t *testing.T) {
+	// User 0: no test positives. User 1: everything is a test positive (no
+	// negatives). Both skipped -> 0.
+	train := sparse.NewBuilder(2, 2).Build()
+	test := sparse.FromDense([][]bool{{false, false}, {true, true}})
+	rec := &fixedRec{scores: [][]float64{{1, 2}, {1, 2}}}
+	if auc := AUC(rec, train, test); auc != 0 {
+		t.Fatalf("degenerate AUC = %v, want 0", auc)
+	}
+}

@@ -1,0 +1,131 @@
+// Package eval implements the evaluation protocol of Section VII-B of the
+// paper: ranked top-M recommendation over the unknowns of the training
+// matrix, scored against held-out test positives with recall@M and MAP@M
+// (plus precision@M, which MAP builds on).
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// Recommender is the scoring interface every algorithm in this repository
+// implements (OCuLaR, R-OCuLaR, wALS, BPR, user- and item-based CF). Higher
+// scores mean stronger recommendations; scores only need to be comparable
+// within one user.
+type Recommender interface {
+	// ScoreUser writes a relevance score for every item for user u into
+	// dst, which has length NumItems().
+	ScoreUser(u int, dst []float64)
+	// NumUsers and NumItems report the shape the model was trained on.
+	NumUsers() int
+	NumItems() int
+}
+
+// Metrics aggregates ranking quality over the evaluated users.
+type Metrics struct {
+	// RecallAtM is the mean over users of
+	// |test positives ∩ top-M| / |test positives|.
+	RecallAtM float64
+	// MAPAtM is the mean over users of average precision at M with the
+	// paper's min(|test positives|, M) normalization.
+	MAPAtM float64
+	// PrecisionAtM is the mean over users of |test ∩ top-M| / M.
+	PrecisionAtM float64
+	// Users is the number of users included in the means: those with at
+	// least one test positive. Users without test positives have undefined
+	// recall and are skipped, the standard OCCF convention.
+	Users int
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("recall@M=%.4f MAP@M=%.4f prec@M=%.4f (users=%d)",
+		m.RecallAtM, m.MAPAtM, m.PrecisionAtM, m.Users)
+}
+
+// Evaluate ranks the unknowns of train for every user and scores the top-M
+// list against the test positives. It panics if the matrices' shapes differ
+// from the recommender's.
+func Evaluate(rec Recommender, train, test *sparse.Matrix, m int) Metrics {
+	res := EvaluateCurve(rec, train, test, []int{m})
+	return res[0]
+}
+
+// EvaluateCurve computes Metrics for several cutoffs in one ranking pass per
+// user; ms must be non-empty and sorted ascending (it panics otherwise).
+// This powers the Fig 5 recall/MAP-versus-M curves.
+func EvaluateCurve(rec Recommender, train, test *sparse.Matrix, ms []int) []Metrics {
+	if len(ms) == 0 {
+		panic("eval: empty cutoff list")
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i] <= ms[i-1] {
+			panic("eval: cutoffs must be strictly ascending")
+		}
+	}
+	if ms[0] <= 0 {
+		panic("eval: cutoffs must be positive")
+	}
+	if train.Rows() != rec.NumUsers() || train.Cols() != rec.NumItems() {
+		panic(fmt.Sprintf("eval: train shape %dx%d does not match model %dx%d",
+			train.Rows(), train.Cols(), rec.NumUsers(), rec.NumItems()))
+	}
+	if test.Rows() != train.Rows() || test.Cols() != train.Cols() {
+		panic("eval: test shape does not match train shape")
+	}
+	maxM := ms[len(ms)-1]
+	out := make([]Metrics, len(ms))
+	scores := make([]float64, rec.NumItems())
+	users := 0
+	for u := 0; u < train.Rows(); u++ {
+		testRow := test.Row(u)
+		if len(testRow) == 0 {
+			continue
+		}
+		users++
+		top := TopM(rec, train, u, maxM, scores)
+		testSet := make(map[int]bool, len(testRow))
+		for _, i := range testRow {
+			testSet[int(i)] = true
+		}
+		nTest := len(testRow)
+
+		hits := 0
+		apSum := 0.0 // running Σ Prec(m)·1{hit at m}
+		mi := 0
+		for rank := 0; rank < len(top) && mi < len(ms); rank++ {
+			if testSet[top[rank]] {
+				hits++
+				apSum += float64(hits) / float64(rank+1)
+			}
+			for mi < len(ms) && rank+1 == ms[mi] {
+				addUserMetrics(&out[mi], hits, apSum, nTest, ms[mi])
+				mi++
+			}
+		}
+		// Cutoffs beyond the candidate list length see the full list.
+		for ; mi < len(ms); mi++ {
+			addUserMetrics(&out[mi], hits, apSum, nTest, ms[mi])
+		}
+	}
+	for i := range out {
+		out[i].Users = users
+		if users > 0 {
+			out[i].RecallAtM /= float64(users)
+			out[i].MAPAtM /= float64(users)
+			out[i].PrecisionAtM /= float64(users)
+		}
+	}
+	return out
+}
+
+func addUserMetrics(m *Metrics, hits int, apSum float64, nTest, cutoff int) {
+	m.RecallAtM += float64(hits) / float64(nTest)
+	m.PrecisionAtM += float64(hits) / float64(cutoff)
+	denom := nTest
+	if cutoff < denom {
+		denom = cutoff
+	}
+	m.MAPAtM += apSum / float64(denom)
+}

@@ -1,0 +1,259 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sparse"
+)
+
+// fixedRec returns precomputed scores: score[u][i].
+type fixedRec struct{ scores [][]float64 }
+
+func (f *fixedRec) ScoreUser(u int, dst []float64) { copy(dst, f.scores[u]) }
+func (f *fixedRec) NumUsers() int                  { return len(f.scores) }
+func (f *fixedRec) NumItems() int                  { return len(f.scores[0]) }
+
+func TestTopMExcludesTraining(t *testing.T) {
+	train := sparse.FromDense([][]bool{{true, false, true, false}})
+	rec := &fixedRec{scores: [][]float64{{9, 5, 8, 1}}}
+	top := TopM(rec, train, 0, 4, nil)
+	if len(top) != 2 {
+		t.Fatalf("top = %v, want 2 candidates", top)
+	}
+	if top[0] != 1 || top[1] != 3 {
+		t.Fatalf("top = %v, want [1 3]", top)
+	}
+}
+
+func TestTopMOrderAndTies(t *testing.T) {
+	train := sparse.NewBuilder(1, 5).Build()
+	rec := &fixedRec{scores: [][]float64{{2, 5, 5, 1, 5}}}
+	top := TopM(rec, train, 0, 5, nil)
+	// Ties broken by ascending index: 1, 2, 4 (score 5), then 0, then 3.
+	want := []int{1, 2, 4, 0, 3}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+}
+
+func TestTopMTruncation(t *testing.T) {
+	train := sparse.NewBuilder(1, 10).Build()
+	scores := make([]float64, 10)
+	for i := range scores {
+		scores[i] = float64(i)
+	}
+	rec := &fixedRec{scores: [][]float64{scores}}
+	top := TopM(rec, train, 0, 3, nil)
+	if len(top) != 3 || top[0] != 9 || top[1] != 8 || top[2] != 7 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestEvaluatePerfectRecommender(t *testing.T) {
+	// 2 users, 4 items. Train: u0 owns i0; u1 owns i1.
+	train := sparse.FromDense([][]bool{
+		{true, false, false, false},
+		{false, true, false, false},
+	})
+	test := sparse.FromDense([][]bool{
+		{false, true, false, false},
+		{false, false, true, false},
+	})
+	// Scores rank each user's test item first.
+	rec := &fixedRec{scores: [][]float64{
+		{0, 10, 1, 2},
+		{0, 0, 10, 1},
+	}}
+	m := Evaluate(rec, train, test, 1)
+	if m.RecallAtM != 1 || m.MAPAtM != 1 || m.PrecisionAtM != 1 {
+		t.Fatalf("perfect recommender metrics = %+v", m)
+	}
+	if m.Users != 2 {
+		t.Fatalf("users = %d", m.Users)
+	}
+}
+
+func TestEvaluateWorstRecommender(t *testing.T) {
+	train := sparse.FromDense([][]bool{{true, false, false, false}})
+	test := sparse.FromDense([][]bool{{false, true, false, false}})
+	rec := &fixedRec{scores: [][]float64{{0, -5, 10, 9}}}
+	m := Evaluate(rec, train, test, 2)
+	if m.RecallAtM != 0 || m.MAPAtM != 0 || m.PrecisionAtM != 0 {
+		t.Fatalf("worst recommender metrics = %+v", m)
+	}
+}
+
+func TestEvaluateHandComputedAP(t *testing.T) {
+	// One user, 6 items, none owned. Test positives: items 0, 2, 4.
+	// Scores rank: 0 (hit), 1, 2 (hit), 3, 4 (hit), 5.
+	train := sparse.NewBuilder(1, 6).Build()
+	test := sparse.FromDense([][]bool{{true, false, true, false, true, false}})
+	rec := &fixedRec{scores: [][]float64{{10, 9, 8, 7, 6, 5}}}
+	m := Evaluate(rec, train, test, 5)
+	// Prec at hits: 1/1, 2/3, 3/5. AP@5 = (1 + 2/3 + 3/5)/min(3,5) = 2.2666/3.
+	wantAP := (1.0 + 2.0/3.0 + 3.0/5.0) / 3.0
+	if math.Abs(m.MAPAtM-wantAP) > 1e-12 {
+		t.Fatalf("MAP@5 = %v, want %v", m.MAPAtM, wantAP)
+	}
+	if math.Abs(m.RecallAtM-1.0) > 1e-12 { // all 3 found within top 5
+		t.Fatalf("recall@5 = %v, want 1", m.RecallAtM)
+	}
+	if math.Abs(m.PrecisionAtM-3.0/5.0) > 1e-12 {
+		t.Fatalf("prec@5 = %v, want 0.6", m.PrecisionAtM)
+	}
+}
+
+func TestEvaluateSkipsUsersWithoutTestPositives(t *testing.T) {
+	train := sparse.FromDense([][]bool{
+		{true, false},
+		{false, true},
+	})
+	test := sparse.FromDense([][]bool{
+		{false, true},
+		{false, false}, // user 1 has no test positives
+	})
+	rec := &fixedRec{scores: [][]float64{{0, 1}, {1, 0}}}
+	m := Evaluate(rec, train, test, 1)
+	if m.Users != 1 {
+		t.Fatalf("users = %d, want 1", m.Users)
+	}
+	if m.RecallAtM != 1 {
+		t.Fatalf("recall = %v", m.RecallAtM)
+	}
+}
+
+func TestEvaluateCurveMonotoneRecall(t *testing.T) {
+	r := rng.New(3)
+	nu, ni := 30, 50
+	b := sparse.NewBuilder(nu, ni)
+	bt := sparse.NewBuilder(nu, ni)
+	scores := make([][]float64, nu)
+	for u := 0; u < nu; u++ {
+		scores[u] = make([]float64, ni)
+		for i := 0; i < ni; i++ {
+			scores[u][i] = r.Float64()
+			switch r.Intn(10) {
+			case 0:
+				b.Add(u, i)
+			case 1:
+				bt.Add(u, i)
+			}
+		}
+	}
+	train, test := b.Build(), bt.Build()
+	// Remove overlaps from test (train takes precedence in this synthetic setup).
+	bt2 := sparse.NewBuilder(nu, ni)
+	test.Each(func(u, i int) {
+		if !train.Has(u, i) {
+			bt2.Add(u, i)
+		}
+	})
+	test = bt2.Build()
+	rec := &fixedRec{scores: scores}
+	ms := []int{1, 5, 10, 20, 50}
+	curve := EvaluateCurve(rec, train, test, ms)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].RecallAtM < curve[i-1].RecallAtM-1e-12 {
+			t.Fatalf("recall not monotone: %v then %v", curve[i-1].RecallAtM, curve[i].RecallAtM)
+		}
+	}
+	// Curve must agree with independent single evaluations.
+	for i, m := range ms {
+		single := Evaluate(rec, train, test, m)
+		if math.Abs(single.RecallAtM-curve[i].RecallAtM) > 1e-12 ||
+			math.Abs(single.MAPAtM-curve[i].MAPAtM) > 1e-12 {
+			t.Fatalf("curve[%d] = %+v, single = %+v", i, curve[i], single)
+		}
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 11)
+		nu, ni := 1+r.Intn(10), 2+r.Intn(20)
+		b := sparse.NewBuilder(nu, ni)
+		bt := sparse.NewBuilder(nu, ni)
+		scores := make([][]float64, nu)
+		for u := 0; u < nu; u++ {
+			scores[u] = make([]float64, ni)
+			for i := 0; i < ni; i++ {
+				scores[u][i] = r.NormFloat64()
+				if r.Bernoulli(0.2) {
+					b.Add(u, i)
+				} else if r.Bernoulli(0.2) {
+					bt.Add(u, i)
+				}
+			}
+		}
+		m := Evaluate(&fixedRec{scores: scores}, b.Build(), bt.Build(), 1+r.Intn(ni))
+		return m.RecallAtM >= 0 && m.RecallAtM <= 1 &&
+			m.MAPAtM >= 0 && m.MAPAtM <= 1 &&
+			m.PrecisionAtM >= 0 && m.PrecisionAtM <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatePanics(t *testing.T) {
+	train := sparse.NewBuilder(1, 3).Build()
+	test := sparse.NewBuilder(1, 3).Build()
+	rec := &fixedRec{scores: [][]float64{{1, 2, 3}}}
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"empty cutoffs", func() { EvaluateCurve(rec, train, test, nil) }},
+		{"unsorted cutoffs", func() { EvaluateCurve(rec, train, test, []int{5, 3}) }},
+		{"zero cutoff", func() { EvaluateCurve(rec, train, test, []int{0}) }},
+		{"shape mismatch", func() { Evaluate(rec, sparse.NewBuilder(2, 3).Build(), test, 1) }},
+		{"test shape mismatch", func() { Evaluate(rec, train, sparse.NewBuilder(1, 4).Build(), 1) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{RecallAtM: 0.5, MAPAtM: 0.25, PrecisionAtM: 0.1, Users: 7}.String()
+	if s != "recall@M=0.5000 MAP@M=0.2500 prec@M=0.1000 (users=7)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	r := rng.New(1)
+	nu, ni := 500, 400
+	bb := sparse.NewBuilder(nu, ni)
+	bt := sparse.NewBuilder(nu, ni)
+	scores := make([][]float64, nu)
+	for u := 0; u < nu; u++ {
+		scores[u] = make([]float64, ni)
+		for i := 0; i < ni; i++ {
+			scores[u][i] = r.Float64()
+			if r.Bernoulli(0.05) {
+				bb.Add(u, i)
+			} else if r.Bernoulli(0.02) {
+				bt.Add(u, i)
+			}
+		}
+	}
+	train, test := bb.Build(), bt.Build()
+	rec := &fixedRec{scores: scores}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(rec, train, test, 50)
+	}
+}

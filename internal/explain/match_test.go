@@ -1,0 +1,139 @@
+package explain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func TestJaccardIdentical(t *testing.T) {
+	a := Module{Users: []int{1, 2, 3}, Items: []int{4, 5}}
+	if j := Jaccard(a, a); j != 1 {
+		t.Fatalf("self Jaccard = %v, want 1", j)
+	}
+}
+
+func TestJaccardDisjoint(t *testing.T) {
+	a := Module{Users: []int{1, 2}, Items: []int{1}}
+	b := Module{Users: []int{3, 4}, Items: []int{1}}
+	if j := Jaccard(a, b); j != 0 {
+		t.Fatalf("disjoint Jaccard = %v, want 0", j)
+	}
+}
+
+func TestJaccardHandComputed(t *testing.T) {
+	// A = {1,2}x{1,2} (4 cells), B = {2,3}x{1,2} (4 cells).
+	// Intersection = {2}x{1,2} = 2 cells, union = 6. J = 1/3.
+	a := Module{Users: []int{1, 2}, Items: []int{1, 2}}
+	b := Module{Users: []int{2, 3}, Items: []int{1, 2}}
+	if j := Jaccard(a, b); math.Abs(j-1.0/3) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 1/3", j)
+	}
+}
+
+func TestJaccardEmptyAndDuplicates(t *testing.T) {
+	if j := Jaccard(Module{}, Module{}); j != 0 {
+		t.Fatalf("empty Jaccard = %v", j)
+	}
+	a := Module{Users: []int{1, 1, 2}, Items: []int{3, 3}}
+	b := Module{Users: []int{1, 2}, Items: []int{3}}
+	if j := Jaccard(a, b); j != 1 {
+		t.Fatalf("duplicate-insensitive Jaccard = %v, want 1", j)
+	}
+}
+
+func TestJaccardSymmetricAndBounded(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed) + 3)
+		mk := func() Module {
+			m := Module{}
+			for n := 0; n < 1+r.Intn(6); n++ {
+				m.Users = append(m.Users, r.Intn(10))
+			}
+			for n := 0; n < 1+r.Intn(6); n++ {
+				m.Items = append(m.Items, r.Intn(10))
+			}
+			return m
+		}
+		a, b := mk(), mk()
+		j1, j2 := Jaccard(a, b), Jaccard(b, a)
+		return j1 == j2 && j1 >= 0 && j1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryAndRelevance(t *testing.T) {
+	planted := []Module{
+		{Users: []int{0, 1}, Items: []int{0, 1}},
+		{Users: []int{5, 6}, Items: []int{5, 6}},
+	}
+	// Found: first planted exactly, plus one spurious module.
+	found := []Module{
+		{Users: []int{0, 1}, Items: []int{0, 1}},
+		{Users: []int{8, 9}, Items: []int{8, 9}},
+	}
+	rec := RecoveryScore(planted, found)
+	if math.Abs(rec-0.5) > 1e-12 { // (1 + 0)/2
+		t.Fatalf("recovery = %v, want 0.5", rec)
+	}
+	rel := RelevanceScore(planted, found)
+	if math.Abs(rel-0.5) > 1e-12 { // (1 + 0)/2
+		t.Fatalf("relevance = %v, want 0.5", rel)
+	}
+	if RecoveryScore(nil, found) != 0 || RecoveryScore(planted, nil) != 0 {
+		t.Fatal("empty-list scores should be 0")
+	}
+}
+
+func TestPerfectRecoveryOnToy(t *testing.T) {
+	toy, m := trainToy(t)
+	found := ExtractCoClusters(m, 0.3)
+	planted := make([]Module, len(toy.Clusters))
+	for n, c := range toy.Clusters {
+		planted[n] = ModuleOfPlanted(c)
+	}
+	modules := make([]Module, len(found))
+	for n, c := range found {
+		modules[n] = ModuleOf(c)
+	}
+	if rec := RecoveryScore(planted, modules); rec < 0.999 {
+		t.Fatalf("toy recovery = %v, want ~1", rec)
+	}
+	if rel := RelevanceScore(planted, modules); rel < 0.999 {
+		t.Fatalf("toy relevance = %v, want ~1", rel)
+	}
+}
+
+func TestGeneExpressionRecoveryBeatsPartitioning(t *testing.T) {
+	// The future-work experiment (examples/genes) as a regression test:
+	// overlapping co-clustering must recover planted transcription modules
+	// far better than a non-overlapping method could even in principle.
+	d := dataset.SyntheticGeneExpression(5)
+	res, err := core.Train(d.R, core.Config{K: len(d.Clusters), Lambda: 3, MaxIter: 120, Tol: 1e-6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := ExtractCoClusters(res.Model, 0.3)
+	planted := make([]Module, len(d.Clusters))
+	for n, c := range d.Clusters {
+		planted[n] = ModuleOfPlanted(c)
+	}
+	var modules []Module
+	for _, c := range found {
+		if len(c.Users) > 0 && len(c.Items) > 0 {
+			modules = append(modules, ModuleOf(c))
+		}
+	}
+	if rec := RecoveryScore(planted, modules); rec < 0.5 {
+		t.Fatalf("gene-expression recovery = %v, want > 0.5", rec)
+	}
+	if rel := RelevanceScore(planted, modules); rel < 0.5 {
+		t.Fatalf("gene-expression relevance = %v, want > 0.5", rel)
+	}
+}

@@ -1,0 +1,273 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestScaleAndNorms(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	if Norm2Sq(x) != 25 {
+		t.Fatalf("Norm2Sq = %v", Norm2Sq(x))
+	}
+	Scale(2, x)
+	if x[0] != 6 || x[1] != 8 {
+		t.Fatalf("Scale = %v", x)
+	}
+}
+
+func TestCosineSim(t *testing.T) {
+	if got := CosineSim([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := CosineSim([]float64{2, 0}, []float64{5, 0}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := CosineSim([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+func TestProjectNonNegIdempotent(t *testing.T) {
+	f := func(raw []float64) bool {
+		x := append([]float64(nil), raw...)
+		ProjectNonNeg(x)
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+		}
+		y := append([]float64(nil), x...)
+		ProjectNonNeg(y)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubAndMaxAbsDiff(t *testing.T) {
+	dst := make([]float64, 3)
+	Sub(dst, []float64{5, 5, 5}, []float64{1, 2, 3})
+	if dst[0] != 4 || dst[1] != 3 || dst[2] != 2 {
+		t.Fatalf("Sub = %v", dst)
+	}
+	if got := MaxAbsDiff([]float64{1, 2}, []float64{1.5, 0}); got != 2 {
+		t.Fatalf("MaxAbsDiff = %v", got)
+	}
+}
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At broken")
+	}
+	m.AddTo(1, 2, 3)
+	if m.At(1, 2) != 10 {
+		t.Fatal("AddTo broken")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 10 {
+		t.Fatal("Row broken")
+	}
+	c := m.CloneMat()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("CloneMat aliases original")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero broken")
+	}
+}
+
+func TestSymRankKUpdate(t *testing.T) {
+	a := NewMat(2, 2)
+	SymRankKUpdate(a, []float64{1, 2})
+	SymRankKUpdate(a, []float64{3, 0})
+	// Expected: [1,2]ᵀ[1,2] + [3,0]ᵀ[3,0] = [[1+9, 2],[2, 4]]
+	want := [][]float64{{10, 2}, {2, 4}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if a.At(i, j) != want[i][j] {
+				t.Fatalf("A = %v, want %v", a.Data, want)
+			}
+		}
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	a := NewMat(3, 3)
+	AddDiag(a, 2.5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 2.5
+			}
+			if a.At(i, j) != want {
+				t.Fatalf("AddDiag wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := NewMat(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 3)
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(a.At(0, 0), 2, 1e-12) || !almostEq(a.At(1, 0), 1, 1e-12) ||
+		!almostEq(a.At(1, 1), math.Sqrt(2), 1e-12) {
+		t.Fatalf("Cholesky factor wrong: %v", a.Data)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMat(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 1) // eigenvalues 3, -1
+	if err := Cholesky(a); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+}
+
+func TestSolveSPDRandom(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(12)
+		// Build SPD A = B Bᵀ + I.
+		b := NewMat(n, n)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			SymRankKUpdate(a, b.Row(i))
+		}
+		AddDiag(a, 1)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		rhs := make([]float64, n)
+		MatVec(rhs, a, xTrue)
+		if err := SolveSPD(a.CloneMat(), rhs); err != nil {
+			t.Fatal(err)
+		}
+		if MaxAbsDiff(rhs, xTrue) > 1e-8 {
+			t.Fatalf("trial %d: solve error %v", trial, MaxAbsDiff(rhs, xTrue))
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := NewMat(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 4, 5, 6})
+	dst := make([]float64, 2)
+	MatVec(dst, a, []float64{1, 1, 1})
+	if dst[0] != 6 || dst[1] != 15 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+}
+
+func TestFillCopy(t *testing.T) {
+	x := make([]float64, 4)
+	Fill(x, 3)
+	for _, v := range x {
+		if v != 3 {
+			t.Fatal("Fill broken")
+		}
+	}
+	y := make([]float64, 4)
+	Copy(y, x)
+	if y[0] != 3 {
+		t.Fatal("Copy broken")
+	}
+}
+
+func BenchmarkDotK100(b *testing.B) {
+	x := make([]float64, 100)
+	y := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i) * 0.5
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkCholeskyK50(b *testing.B) {
+	r := rng.New(7)
+	n := 50
+	base := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		v := make([]float64, n)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		SymRankKUpdate(base, v)
+	}
+	AddDiag(base, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := base.CloneMat()
+		if err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package parallel is the execution engine substituting for the paper's GPU
+// implementation (Section VI).
+//
+// The CUDA design launches one thread block per positive example, each
+// computing a partial inner product in shared memory, reducing it, and
+// accumulating the weighted factor vector into the item gradient with
+// atomic adds. The same decomposition holds at a coarser grain: every item
+// (and, in the user sweep, every user) owns a disjoint slice of the factor
+// array, and its update depends only on the fixed block's factors plus the
+// precomputed constant C = Σ f (the kernel's initialization value). Updates
+// within a block are therefore embarrassingly parallel, and — unlike the
+// atomic-add CUDA kernel — race-free without synchronization, so the
+// parallel schedule is bit-identical to the serial one.
+//
+// For runs an index space over a worker pool with contiguous chunking
+// (coalesced access, the CPU analogue of warp-contiguous reads). Each
+// worker carries a Scratch arena so per-index updates allocate nothing.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Scratch is a per-worker reusable float64 arena. Get slices of it via
+// Float64s; the slice is valid until the next Float64s call with a larger
+// size. Scratch is not safe for concurrent use; For gives each worker its
+// own.
+type Scratch struct {
+	buf []float64
+}
+
+// Float64s returns a zeroed slice of length n, reusing the arena when
+// possible.
+func (s *Scratch) Float64s(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	b := s.buf[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// DefaultWorkers returns the worker count used when a caller passes 0:
+// the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For executes fn(i, scratch) for every i in [0, n). workers <= 1 runs
+// serially on the calling goroutine. With multiple workers, indices are
+// dealt in contiguous chunks via an atomic cursor, which balances load when
+// per-index cost is skewed (items have wildly varying degree). fn must not
+// touch state owned by other indices; under that contract results are
+// identical for every worker count.
+func For(n, workers int, fn func(i int, scratch *Scratch)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || n == 1 {
+		s := &Scratch{}
+		for i := 0; i < n; i++ {
+			fn(i, s)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	// Chunk size balances scheduling overhead against load balance; with
+	// at least 8 chunks per worker the long-degree-tail items spread out.
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s := &Scratch{}
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i, s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SumVectors computes dst = Σ_r vecs[r·k : (r+1)·k] over rows rows, the
+// parallel reduction behind the kernel constant C = Σ_u f_u. The reduction
+// tree is deterministic: each worker sums a fixed contiguous range and the
+// partials are combined in worker order, so results do not depend on
+// scheduling.
+func SumVectors(dst, flat []float64, k, workers int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	n := len(flat) / k
+	if n == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for off := 0; off < len(flat); off += k {
+			for c := 0; c < k; c++ {
+				dst[c] += flat[off+c]
+			}
+		}
+		return
+	}
+	partials := make([][]float64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			p := make([]float64, k)
+			lo, hi := w*per, (w+1)*per
+			if hi > n {
+				hi = n
+			}
+			for r := lo; r < hi; r++ {
+				off := r * k
+				for c := 0; c < k; c++ {
+					p[c] += flat[off+c]
+				}
+			}
+			partials[w] = p
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		for c := 0; c < k; c++ {
+			dst[c] += p[c]
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 2, 10, 100, 1000} {
+			var hits = make([]atomic.Int32, max(n, 1))
+			For(n, workers, func(i int, _ *Scratch) {
+				hits[i].Add(1)
+			})
+			for i := 0; i < n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForResultsIndependentOfWorkers(t *testing.T) {
+	n := 500
+	serial := make([]float64, n)
+	For(n, 1, func(i int, s *Scratch) {
+		buf := s.Float64s(4)
+		buf[0] = float64(i)
+		serial[i] = buf[0] * 2
+	})
+	par := make([]float64, n)
+	For(n, 8, func(i int, s *Scratch) {
+		buf := s.Float64s(4)
+		buf[0] = float64(i)
+		par[i] = buf[0] * 2
+	})
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("index %d: serial %v != parallel %v", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestScratchZeroed(t *testing.T) {
+	s := &Scratch{}
+	b := s.Float64s(3)
+	b[0], b[1], b[2] = 1, 2, 3
+	b2 := s.Float64s(2)
+	if b2[0] != 0 || b2[1] != 0 {
+		t.Fatal("Scratch.Float64s did not zero reused memory")
+	}
+	b3 := s.Float64s(10)
+	for _, v := range b3 {
+		if v != 0 {
+			t.Fatal("grown scratch not zeroed")
+		}
+	}
+}
+
+func TestSumVectorsMatchesSerial(t *testing.T) {
+	f := func(seed int64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		n := int(nRaw%40) + 1
+		flat := make([]float64, n*k)
+		x := float64(seed%1000) / 7
+		for i := range flat {
+			x = math.Mod(x*1.37+0.11, 10)
+			flat[i] = x
+		}
+		want := make([]float64, k)
+		SumVectors(want, flat, k, 1)
+		for _, workers := range []int{2, 3, 5} {
+			got := make([]float64, k)
+			SumVectors(got, flat, k, workers)
+			for c := range got {
+				// Parallel partials re-associate the additions, so agreement
+				// is up to floating-point rounding, not bit-exact.
+				if math.Abs(got[c]-want[c]) > 1e-9*(1+math.Abs(want[c])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumVectorsEmpty(t *testing.T) {
+	dst := []float64{5, 5}
+	SumVectors(dst, nil, 2, 4)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatal("SumVectors on empty input should zero dst")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkForSerial(b *testing.B) {
+	work := func(i int, s *Scratch) {
+		buf := s.Float64s(64)
+		for j := range buf {
+			buf[j] = float64(i + j)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(10000, 1, work)
+	}
+}
+
+func BenchmarkForParallel(b *testing.B) {
+	work := func(i int, s *Scratch) {
+		buf := s.Float64s(64)
+		for j := range buf {
+			buf[j] = float64(i + j)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(10000, DefaultWorkers(), work)
+	}
+}

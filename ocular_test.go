@@ -1,0 +1,171 @@
+package ocular_test
+
+import (
+	"strings"
+	"testing"
+
+	ocular "repro"
+)
+
+// TestEndToEndToyPipeline exercises the full public API on the paper's toy:
+// generate -> train -> recommend -> explain -> render.
+func TestEndToEndToyPipeline(t *testing.T) {
+	toy := ocular.PaperToy()
+	res, err := ocular.Train(toy.R, ocular.Config{K: 3, Lambda: 0.1, MaxIter: 300, Tol: 1e-7, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range toy.Held {
+		recs := ocular.Recommend(res.Model, toy.R, h[0], 1)
+		if len(recs) != 1 || recs[0] != h[1] {
+			t.Errorf("user %d: top rec %v, want item %d", h[0], recs, h[1])
+		}
+	}
+	ex := ocular.ExplainPair(res.Model, toy.R, 6, 4)
+	if ex.Probability < 0.6 || len(ex.Reasons) != 2 {
+		t.Fatalf("worked example: p=%v reasons=%d", ex.Probability, len(ex.Reasons))
+	}
+	text := ex.Render(toy.Dataset)
+	if !strings.Contains(text, "Item 4 is recommended to User 6") {
+		t.Errorf("rendered rationale wrong:\n%s", text)
+	}
+	if matrix := ocular.RenderProbabilityMatrix(res.Model, toy.R); !strings.Contains(matrix, "##") {
+		t.Error("probability matrix render missing positives")
+	}
+}
+
+// TestEndToEndSplitEvaluate runs the Table I protocol on the small preset
+// and checks OCuLaR beats a degenerate popularity-free baseline.
+func TestEndToEndSplitEvaluate(t *testing.T) {
+	d := ocular.SyntheticSmall(9)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, 9)
+	res, err := ocular.Train(sp.Train, ocular.Config{K: 8, Lambda: 2, MaxIter: 60, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ocular.Evaluate(res.Model, sp.Train, sp.Test, 20)
+	if m.RecallAtM < 0.4 {
+		t.Errorf("recall@20 = %v, want > 0.4 on planted data", m.RecallAtM)
+	}
+	curve := ocular.EvaluateCurve(res.Model, sp.Train, sp.Test, []int{5, 10, 20})
+	if curve[2].RecallAtM != m.RecallAtM {
+		t.Error("EvaluateCurve disagrees with Evaluate")
+	}
+}
+
+// TestEndToEndBaselines trains every baseline through the facade on one
+// split and sanity-checks the metrics are in (0, 1].
+func TestEndToEndBaselines(t *testing.T) {
+	d := ocular.SyntheticSmall(10)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, 10)
+	recs := map[string]ocular.Recommender{}
+
+	w, err := ocular.TrainWALS(sp.Train, ocular.WALSConfig{K: 8, B: 0.01, Lambda: 0.01, Iters: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs["wALS"] = w
+	bp, err := ocular.TrainBPR(sp.Train, ocular.BPRConfig{K: 8, Epochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs["BPR"] = bp
+	uk, err := ocular.TrainUserKNN(sp.Train, ocular.KNNConfig{Neighbors: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs["user"] = uk
+	ik, err := ocular.TrainItemKNN(sp.Train, ocular.KNNConfig{Neighbors: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs["item"] = ik
+
+	for name, rec := range recs {
+		m := ocular.Evaluate(rec, sp.Train, sp.Test, 20)
+		if m.RecallAtM <= 0 || m.RecallAtM > 1 {
+			t.Errorf("%s: recall@20 = %v out of range", name, m.RecallAtM)
+		}
+	}
+}
+
+// TestEndToEndCommunity runs the Fig 2 comparison through the facade.
+func TestEndToEndCommunity(t *testing.T) {
+	toy := ocular.PaperToy()
+	g := ocular.BipartiteGraph(toy.R)
+	part := ocular.DetectModularity(g)
+	if part.Count < 2 {
+		t.Fatalf("modularity found %d communities", part.Count)
+	}
+	recs := ocular.CommunityRecommendations(part.Communities(), toy.R)
+	hits := 0
+	for _, h := range toy.Held {
+		for _, r := range recs {
+			if r == h {
+				hits++
+			}
+		}
+	}
+	if hits >= 3 {
+		t.Error("non-overlapping partition should not recover all 3 withheld pairs")
+	}
+	bc, err := ocular.FitBigClam(g, ocular.BigClamConfig{K: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Communities(ocular.BigClamDelta(g))) == 0 {
+		t.Error("BIGCLAM found no communities")
+	}
+}
+
+// TestEndToEndGridSearch runs the Fig 9 protocol at tiny scale.
+func TestEndToEndGridSearch(t *testing.T) {
+	d := ocular.SyntheticSmall(11)
+	sp := ocular.SplitDataset(d.Dataset, 0.75, 11)
+	res, err := ocular.GridSearch(sp.Train, sp.Test,
+		ocular.GridSearchGrid{Ks: []int{4, 8}, Lambdas: []float64{1, 5}},
+		ocular.GridSearchOptions{M: 10, Base: ocular.Config{MaxIter: 10, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d", len(res.Cells))
+	}
+	if res.Best.Metrics.RecallAtM <= 0 {
+		t.Error("best cell has zero recall")
+	}
+}
+
+// TestEndToEndCoClusterStats exercises the Fig 6 metrics through the facade.
+func TestEndToEndCoClusterStats(t *testing.T) {
+	d := ocular.SyntheticSmall(12)
+	res, err := ocular.Train(d.R, ocular.Config{K: 6, Lambda: 2, MaxIter: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := ocular.CoClusters(res.Model, 0.3)
+	if len(clusters) != 6 {
+		t.Fatalf("clusters = %d, want K=6", len(clusters))
+	}
+	stats := ocular.CoClusterStatsOf(clusters, d.R)
+	if stats.NonEmpty == 0 || stats.MeanDensity <= 0 {
+		t.Errorf("degenerate stats: %+v", stats)
+	}
+	// Planted data density inside discovered co-clusters should beat the
+	// global density.
+	if stats.MeanDensity <= d.R.Density() {
+		t.Errorf("co-cluster density %v not above global %v", stats.MeanDensity, d.R.Density())
+	}
+}
+
+// TestLoadRatingsRoundTrip checks the facade loader against datagen-format
+// output.
+func TestLoadRatingsRoundTrip(t *testing.T) {
+	d, err := ocular.LoadRatings(strings.NewReader("a,x\nb,x\na,y\n"), "rt", ocular.LoadOptions{Sep: ","})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Users() != 2 || d.Items() != 2 || d.R.NNZ() != 3 {
+		t.Fatalf("round trip shape wrong: %v", d)
+	}
+}
