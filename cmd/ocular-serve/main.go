@@ -1,0 +1,126 @@
+// Command ocular-serve answers recommendation queries over a trained,
+// serialized OCuLaR model — the online half of the paper's train-once /
+// serve-many production deployment (Section IV-D). Train and save a model
+// with cmd/ocular -save, then:
+//
+//	ocular-serve -model model.bin -preset small -addr :8080
+//
+// Endpoints (JSON request/response):
+//
+//	POST /v1/recommend  {"user": 3, "m": 10}      top-M for a known user
+//	POST /v1/foldin     {"items": [1,2,3]}        cold-start fold-in + top-M
+//	POST /v1/explain    {"user": 3, "item": 7}    co-cluster rationale
+//	POST /v1/batch      {"users": [1,2,3]}        many users, worker-pool fan-out
+//	POST /v1/reload                                hot-swap the model from -model
+//	GET  /healthz                                  liveness + model version
+//	GET  /metrics                                  request counts, latencies, cache stats
+//
+// The training matrix (-data or -preset, same flags as cmd/ocular) supplies
+// the per-user exclusion lists: items a user already has are never
+// recommended back. Without it every item is a candidate for every user.
+//
+// SIGHUP (or POST /v1/reload) re-reads -model and atomically swaps it in
+// without dropping in-flight requests; SIGINT/SIGTERM drain connections and
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	ocular "repro"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ocular-serve: ")
+	var (
+		modelPath = flag.String("model", "", "serialized model file (from ocular -save); required")
+		addr      = flag.String("addr", ":8080", "listen address")
+
+		dataPath  = flag.String("data", "", "training ratings file for per-user exclusions")
+		sep       = flag.String("sep", ",", "field separator for -data")
+		threshold = flag.Float64("threshold", 0, "min rating counted as positive for -data")
+		preset    = flag.String("preset", "", "synthetic preset used at training time (exclusions)")
+		seed      = flag.Uint64("seed", 1, "preset generation seed (must match training)")
+
+		cacheSize = flag.Int("cache", 4096, "cached top-M lists (negative disables)")
+		workers   = flag.Int("workers", 0, "batch fan-out workers (0 = all cores)")
+		maxM      = flag.Int("max-m", 1000, "cap on requested list length m")
+		lambda    = flag.Float64("lambda", 5, "fold-in l2 regularization weight")
+		relative  = flag.Bool("relative", false, "fold-in uses the R-OCuLaR objective")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		log.Fatal("pass -model FILE (train one with: ocular -preset small -save model.bin)")
+	}
+
+	cfg := serve.Config{
+		ModelPath: *modelPath,
+		FoldIn:    ocular.Config{Lambda: *lambda, Relative: *relative},
+		CacheSize: *cacheSize,
+		Workers:   *workers,
+		MaxM:      *maxM,
+	}
+	if *dataPath != "" || *preset != "" {
+		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Train = d.R
+		log.Printf("exclusion matrix: %v", d)
+	}
+
+	srv, err := serve.NewFromFile(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %v on %s", srv.Model(), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGHUP hot-swaps the model; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.ReloadFromFile(); err != nil {
+				log.Printf("reload failed (still serving version %d): %v", srv.Version(), err)
+				continue
+			}
+			log.Printf("reloaded %v (version %d)", srv.Model(), srv.Version())
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	fmt.Println("bye")
+}

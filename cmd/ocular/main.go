@@ -44,6 +44,7 @@ func main() {
 		explain = flag.Bool("explain", false, "print the co-cluster rationale per recommendation")
 		m       = flag.Int("m", 50, "cutoff for holdout evaluation metrics")
 		verbose = flag.Bool("v", false, "print objective per training iteration")
+		save    = flag.String("save", "", "write the trained model to this file (serve it with ocular-serve)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,13 @@ func main() {
 	model := res.Model
 	fmt.Printf("trained %v in %d iterations (converged=%v)\n",
 		model, res.Iterations(), res.Converged)
+
+	if *save != "" {
+		if err := model.SaveModelFile(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *save)
+	}
 
 	if test != nil {
 		fmt.Printf("held-out metrics: %v AUC=%.4f\n",

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 )
 
 // modelMagic identifies the serialized model format; the trailing digit is
@@ -49,6 +50,49 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		n += int64(8 * len(arr))
 	}
 	return n, bw.Flush()
+}
+
+// SaveModelFile writes the model to path atomically: the bytes land in a
+// sibling temporary file which is renamed over path only after a
+// successful write and sync, so a serving process re-reading the file on
+// reload never observes a truncated model. The temp file is created with
+// mode 0644 (subject to the umask, like a plain create), so a serving
+// process under another user can read the model. Concurrent saves to the
+// same path are not supported — the trainer is the single writer.
+func (m *Model) SaveModelFile(path string) error {
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	defer os.Remove(tmpPath)
+	if _, err := m.WriteTo(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	// Flush to stable storage before the rename so a crash cannot leave a
+	// durably-renamed but truncated model at path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return fmt.Errorf("core: saving model: %w", err)
+	}
+	return nil
+}
+
+// LoadModelFile reads a model saved with SaveModelFile (or WriteTo).
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading model: %w", err)
+	}
+	defer f.Close()
+	return ReadModel(f)
 }
 
 // ReadModel deserializes a model written by WriteTo, validating the header

@@ -12,7 +12,9 @@ import (
 // order with ties broken by ascending index (deterministic rankings; see
 // McSherry & Najork on tied scores). Fewer than m items are returned when
 // fewer unknowns exist. scores is scratch space of length NumItems; passing
-// nil allocates.
+// nil allocates. On return scores holds exactly what rec.ScoreUser wrote —
+// TopM never mutates it — so callers may read scores[i] back for the
+// returned items (the serving layer relies on this postcondition).
 //
 // Selection is a size-m min-heap over the candidates, O(n_i log m), which
 // matters when ranking a 17k-item catalogue for a top-50 list; a full sort
@@ -39,15 +41,17 @@ func TopM(rec Recommender, train *sparse.Matrix, u, m int, scores []float64) []i
 // topMSort ranks all candidates by full sort; exact reference used for
 // large m and by the equivalence tests.
 func topMSort(scores []float64, owned []int32, m int) []int {
-	ownedSet := make(map[int]bool, len(owned))
-	for _, i := range owned {
-		ownedSet[int(i)] = true
-	}
 	cand := make([]int, 0, len(scores)-len(owned))
+	oi := 0
 	for i := range scores {
-		if !ownedSet[i] {
-			cand = append(cand, i)
+		// owned is sorted; advance the cursor instead of a set lookup.
+		for oi < len(owned) && int(owned[oi]) < i {
+			oi++
 		}
+		if oi < len(owned) && int(owned[oi]) == i {
+			continue
+		}
+		cand = append(cand, i)
 	}
 	sort.Slice(cand, func(a, b int) bool {
 		if scores[cand[a]] != scores[cand[b]] {

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// topCache is a sharded LRU cache of precomputed top-M lists keyed by
+// (user, m). Sharding bounds lock contention on the hot path: concurrent
+// requests for different users hash to different shards with high
+// probability. A cache belongs to one model snapshot — a model reload
+// installs a fresh cache, so invalidation is wholesale and race-free
+// (requests still running against the old snapshot keep hitting the old,
+// still-consistent cache).
+type topCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+type cacheKey struct{ user, m int }
+
+type cacheEntry struct {
+	key    cacheKey
+	items  []int
+	scores []float64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	order list.List // front = most recently used
+	byKey map[cacheKey]*list.Element
+}
+
+// newTopCache builds a cache holding about capacity entries total across
+// shards shards (rounded up to a power of two, default 16). capacity <= 0
+// returns nil — a nil *topCache is a valid always-miss cache.
+func newTopCache(capacity, shards int) *topCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &topCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].byKey = make(map[cacheKey]*list.Element, perShard)
+	}
+	return c
+}
+
+func (c *topCache) shard(k cacheKey) *cacheShard {
+	// Fibonacci hashing spreads the typically-sequential user ids.
+	h := (uint64(k.user)*2 + uint64(k.m)) * 0x9E3779B97F4A7C15
+	return &c.shards[(h>>32)&c.mask]
+}
+
+// get returns the cached list for k. The returned slices are shared and
+// must not be modified.
+func (c *topCache) get(k cacheKey) (items []int, scores []float64, ok bool) {
+	if c == nil {
+		return nil, nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[k]
+	if !ok {
+		return nil, nil, false
+	}
+	s.order.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.items, e.scores, true
+}
+
+// put stores the list for k, evicting the least recently used entry of the
+// shard when full. The slices are retained; callers must not modify them
+// afterwards.
+func (c *topCache) put(k cacheKey, items []int, scores []float64) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[k]; ok {
+		s.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.items, e.scores = items, scores
+		return
+	}
+	if s.order.Len() >= s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*cacheEntry).key)
+	}
+	s.byKey[k] = s.order.PushFront(&cacheEntry{key: k, items: items, scores: scores})
+}
+
+// len returns the total number of cached entries.
+func (c *topCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

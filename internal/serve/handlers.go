@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/explain"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// endpointNames registers every instrumented endpoint with Metrics.
+var endpointNames = []string{
+	"recommend", "foldin", "explain", "batch", "reload", "healthz", "metrics",
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recommend", s.metrics.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("POST /v1/foldin", s.metrics.instrument("foldin", s.handleFoldIn))
+	mux.HandleFunc("POST /v1/explain", s.metrics.instrument("explain", s.handleExplain))
+	mux.HandleFunc("POST /v1/batch", s.metrics.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// decode reads the request body as JSON into v, enforcing the body size cap
+// and rejecting unknown fields (catching misspelled parameters early).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// clampM applies the default and ceiling to a requested list length.
+func (s *Server) clampM(m int) (int, error) {
+	switch {
+	case m == 0:
+		if s.cfg.MaxM < 10 {
+			return s.cfg.MaxM, nil
+		}
+		return 10, nil
+	case m < 0:
+		return 0, fmt.Errorf("m must be positive, got %d", m)
+	case m > s.cfg.MaxM:
+		return 0, fmt.Errorf("m=%d exceeds the server cap of %d", m, s.cfg.MaxM)
+	}
+	return m, nil
+}
+
+// ScoredItem is one ranked recommendation.
+type ScoredItem struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+}
+
+func zipScored(items []int, scores []float64) []ScoredItem {
+	out := make([]ScoredItem, len(items))
+	for n := range items {
+		out[n] = ScoredItem{Item: items[n], Score: scores[n]}
+	}
+	return out
+}
+
+// RecommendRequest asks for the top-M list of a known user.
+type RecommendRequest struct {
+	User int `json:"user"`
+	M    int `json:"m,omitempty"`
+}
+
+// RecommendResponse carries one user's ranked recommendations.
+type RecommendResponse struct {
+	User         int          `json:"user"`
+	Items        []ScoredItem `json:"items"`
+	Cached       bool         `json:"cached"`
+	ModelVersion uint64       `json:"model_version"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
+	var req RecommendRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	m, err := s.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	sn := s.snap.Load()
+	resp, err := s.recommendOne(sn, req.User, m)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// recommendOne serves one user's top-m list; m must already be clamped.
+func (s *Server) recommendOne(sn *snapshot, user, m int) (RecommendResponse, error) {
+	if user < 0 || user >= sn.model.NumUsers() {
+		return RecommendResponse{}, fmt.Errorf("user %d out of range (%d users)", user, sn.model.NumUsers())
+	}
+	items, scores, cached := s.topM(sn, user, m)
+	return RecommendResponse{
+		User:         user,
+		Items:        zipScored(items, scores),
+		Cached:       cached,
+		ModelVersion: sn.version,
+	}, nil
+}
+
+// FoldInRequest asks for cold-start recommendations: the item history of a
+// user unseen at training time goes in, a fold-in factor and ranked list
+// come out (Section IV-D's new-client onboarding path).
+type FoldInRequest struct {
+	Items []int `json:"items"`
+	M     int   `json:"m,omitempty"`
+}
+
+// FoldInResponse carries the fold-in factor, bias and recommendations (the
+// history items themselves are excluded from the list).
+type FoldInResponse struct {
+	Factor       []float64    `json:"factor"`
+	Bias         float64      `json:"bias,omitempty"`
+	Items        []ScoredItem `json:"items"`
+	ModelVersion uint64       `json:"model_version"`
+}
+
+// foldRec adapts a fold-in factor to eval.Recommender so eval.TopM's
+// selection machinery (and its scratch-buffer discipline) applies to
+// cold-start users too. It scores one synthetic user, index 0.
+type foldRec struct {
+	sn     *snapshot
+	factor []float64
+	bias   float64
+}
+
+func (f foldRec) ScoreUser(_ int, dst []float64) {
+	f.sn.model.ScoreWithFactor(f.factor, f.bias, dst)
+}
+func (f foldRec) NumUsers() int { return 1 }
+func (f foldRec) NumItems() int { return f.sn.model.NumItems() }
+
+func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) int {
+	var req FoldInRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	m, err := s.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(req.Items) == 0 {
+		return writeError(w, http.StatusBadRequest, "items must be a non-empty item history")
+	}
+	sn := s.snap.Load()
+	// FoldInUser validates the item range itself; its error maps to 400.
+	factor, bias, err := sn.model.FoldInUser(req.Items, s.cfg.FoldIn)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	// Exclude the history via a one-row matrix, reusing TopM's sorted-row
+	// exclusion walk.
+	hb := sparse.NewBuilder(1, sn.model.NumItems())
+	for _, i := range req.Items {
+		hb.Add(0, i)
+	}
+	items, scores := sn.rankTopM(foldRec{sn: sn, factor: factor, bias: bias}, hb.Build(), 0, m)
+	return writeJSON(w, http.StatusOK, FoldInResponse{
+		Factor:       factor,
+		Bias:         bias,
+		Items:        zipScored(items, scores),
+		ModelVersion: sn.version,
+	})
+}
+
+// ExplainRequest asks for the co-cluster rationale of one (user, item)
+// pair.
+type ExplainRequest struct {
+	User int `json:"user"`
+	Item int `json:"item"`
+	// MaxPeers caps the similar-user / shared-item lists (default 5).
+	MaxPeers int `json:"max_peers,omitempty"`
+}
+
+// ExplainReason is one co-cluster's contribution to the recommendation.
+type ExplainReason struct {
+	Cluster      int     `json:"cluster"`
+	Contribution float64 `json:"contribution"`
+	SimilarUsers []int   `json:"similar_users,omitempty"`
+	SharedItems  []int   `json:"shared_items,omitempty"`
+}
+
+// ExplainResponse is the JSON form of an explain.Explanation.
+type ExplainResponse struct {
+	User         int             `json:"user"`
+	Item         int             `json:"item"`
+	Probability  float64         `json:"probability"`
+	Reasons      []ExplainReason `json:"reasons"`
+	ModelVersion uint64          `json:"model_version"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
+	var req ExplainRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	sn := s.snap.Load()
+	if req.User < 0 || req.User >= sn.model.NumUsers() {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("user %d out of range (%d users)", req.User, sn.model.NumUsers()))
+	}
+	if req.Item < 0 || req.Item >= sn.model.NumItems() {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("item %d out of range (%d items)", req.Item, sn.model.NumItems()))
+	}
+	if req.MaxPeers < 0 {
+		return writeError(w, http.StatusBadRequest, "max_peers must be non-negative")
+	}
+	ex := explain.Explain(sn.model, sn.train, req.User, req.Item,
+		explain.Options{MaxPeers: req.MaxPeers})
+	resp := ExplainResponse{
+		User:         ex.User,
+		Item:         ex.Item,
+		Probability:  ex.Probability,
+		Reasons:      make([]ExplainReason, len(ex.Reasons)),
+		ModelVersion: sn.version,
+	}
+	for n, reason := range ex.Reasons {
+		resp.Reasons[n] = ExplainReason{
+			Cluster:      reason.ClusterID,
+			Contribution: reason.Contribution,
+			SimilarUsers: reason.SimilarUsers,
+			SharedItems:  reason.SharedItems,
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest asks for top-M lists of many users in one round trip.
+type BatchRequest struct {
+	Users []int `json:"users"`
+	M     int   `json:"m,omitempty"`
+}
+
+// BatchResponse carries one result per requested user, in request order.
+// A user that fails validation gets an Error and an empty list; the other
+// users are still served.
+type BatchResponse struct {
+	Results      []BatchResult `json:"results"`
+	ModelVersion uint64        `json:"model_version"`
+}
+
+// BatchResult is one user's slot in a batch response.
+type BatchResult struct {
+	User   int          `json:"user"`
+	Items  []ScoredItem `json:"items,omitempty"`
+	Cached bool         `json:"cached,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req BatchRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(req.Users) == 0 {
+		return writeError(w, http.StatusBadRequest, "users must be non-empty")
+	}
+	if len(req.Users) > s.cfg.MaxBatch {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d users exceeds the server cap of %d", len(req.Users), s.cfg.MaxBatch))
+	}
+	m, err := s.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	sn := s.snap.Load()
+	results := make([]BatchResult, len(req.Users))
+	parallel.For(len(req.Users), s.cfg.Workers, func(n int, _ *parallel.Scratch) {
+		u := req.Users[n]
+		resp, err := s.recommendOne(sn, u, m)
+		if err != nil {
+			results[n] = BatchResult{User: u, Error: err.Error()}
+			return
+		}
+		results[n] = BatchResult{User: u, Items: resp.Items, Cached: resp.Cached}
+	})
+	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: sn.version})
+}
+
+// ReloadResponse reports the snapshot installed by a reload.
+type ReloadResponse struct {
+	ModelVersion uint64 `json:"model_version"`
+	Model        string `json:"model"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	if err := s.ReloadFromFile(); err != nil {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	sn := s.snap.Load()
+	return writeJSON(w, http.StatusOK, ReloadResponse{
+		ModelVersion: sn.version,
+		Model:        sn.model.String(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	sn := s.snap.Load()
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"model":         sn.model.String(),
+		"model_version": sn.version,
+		"loaded_at":     sn.loadedAt.UTC().Format("2006-01-02T15:04:05Z07:00"),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	sn := s.snap.Load()
+	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.cache.len()))
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"time"
+)
+
+// latencyBucketBounds are the upper bounds (exclusive) of the request
+// latency histogram, chosen to straddle the expected serving regimes: a
+// cache hit is sub-100µs, a cache-miss ranking of a large catalogue is
+// single-digit milliseconds, a fold-in solve tens of milliseconds, and
+// anything in the top bucket deserves a look.
+var latencyBucketBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+var latencyBucketLabels = [...]string{
+	"<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s",
+}
+
+// endpointMetrics counts requests, errors and a latency histogram for one
+// endpoint. The counters are expvar vars (atomic, individually snapshotable)
+// kept unpublished so several Servers can coexist in one process.
+type endpointMetrics struct {
+	requests    expvar.Int
+	errors      expvar.Int // responses with status >= 400
+	totalMicros expvar.Int
+	buckets     [len(latencyBucketBounds) + 1]expvar.Int
+}
+
+func (em *endpointMetrics) observe(d time.Duration, status int) {
+	em.requests.Add(1)
+	if status >= 400 {
+		em.errors.Add(1)
+	}
+	em.totalMicros.Add(d.Microseconds())
+	b := len(latencyBucketBounds)
+	for i, bound := range latencyBucketBounds {
+		if d < bound {
+			b = i
+			break
+		}
+	}
+	em.buckets[b].Add(1)
+}
+
+func (em *endpointMetrics) snapshot() map[string]any {
+	hist := make(map[string]int64, len(em.buckets))
+	for i := range em.buckets {
+		hist[latencyBucketLabels[i]] = em.buckets[i].Value()
+	}
+	out := map[string]any{
+		"requests":             em.requests.Value(),
+		"errors":               em.errors.Value(),
+		"latency_micros_total": em.totalMicros.Value(),
+		"latency_histogram":    hist,
+	}
+	if n := em.requests.Value(); n > 0 {
+		out["latency_micros_mean"] = float64(em.totalMicros.Value()) / float64(n)
+	}
+	return out
+}
+
+// Metrics aggregates serving statistics across all endpoints of a Server.
+type Metrics struct {
+	start       time.Time
+	endpoints   map[string]*endpointMetrics
+	cacheHits   expvar.Int
+	cacheMisses expvar.Int
+	reloads     expvar.Int
+	inFlight    expvar.Int
+}
+
+func newMetrics(endpointNames []string) *Metrics {
+	m := &Metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+	}
+	for _, name := range endpointNames {
+		m.endpoints[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+// CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, miss := m.cacheHits.Value(), m.cacheMisses.Value()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// snapshot renders the full metrics tree for the /metrics endpoint.
+func (m *Metrics) snapshot(version uint64, cacheEntries int) map[string]any {
+	eps := make(map[string]any, len(m.endpoints))
+	for name, em := range m.endpoints {
+		eps[name] = em.snapshot()
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"model_version":  version,
+		"model_reloads":  m.reloads.Value(),
+		"in_flight":      m.inFlight.Value(),
+		"cache": map[string]any{
+			"hits":     m.cacheHits.Value(),
+			"misses":   m.cacheMisses.Value(),
+			"hit_rate": m.CacheHitRate(),
+			"entries":  cacheEntries,
+		},
+		"endpoints": eps,
+	}
+}
+
+// instrument wraps an endpoint handler with request counting, latency
+// observation and in-flight tracking. The endpoint name must have been
+// registered at Metrics construction.
+func (m *Metrics) instrument(name string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	em := m.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		start := time.Now()
+		// net/http recovers handler panics per-connection; the deferred
+		// observation keeps the in-flight gauge and histogram honest even
+		// then (a panic is recorded as a 500).
+		status := http.StatusInternalServerError
+		defer func() {
+			em.observe(time.Since(start), status)
+			m.inFlight.Add(-1)
+		}()
+		status = h(w, r)
+	}
+}
+
+// writeJSON encodes v with status code, reporting the status back to the
+// instrumentation wrapper.
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+	return status
+}
+
+// writeError encodes {"error": msg} with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/explain"
+	"repro/internal/sparse"
+)
+
+// trainSmall fits a small model for the serving tests; seed varies the
+// factors so reload tests can install a genuinely different model.
+func trainSmall(t testing.TB, train *sparse.Matrix, seed uint64) *core.Model {
+	t.Helper()
+	res, err := core.Train(train, core.Config{K: 8, Lambda: 2, MaxIter: 60, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model
+}
+
+var foldInCfg = core.Config{Lambda: 2}
+
+// newTestServer trains on SyntheticSmall, saves the model to a temp file,
+// and serves it — the full train → save → serve lifecycle.
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server, *core.Model, *sparse.Matrix) {
+	t.Helper()
+	train := dataset.SyntheticSmall(1).Dataset.R
+	model := trainSmall(t, train, 3)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ModelPath = path
+	cfg.Train = train
+	cfg.FoldIn = foldInCfg
+	srv, err := NewFromFile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, model, train
+}
+
+func postJSON(t testing.TB, url string, body any, out any) (status int) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshaling %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestRecommendMatchesInProcess(t *testing.T) {
+	_, ts, model, train := newTestServer(t, Config{})
+	for _, u := range []int{0, 7, 42, 119} {
+		var got RecommendResponse
+		if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: u, M: 10}, &got); st != 200 {
+			t.Fatalf("user %d: status %d", u, st)
+		}
+		want := eval.TopM(model, train, u, 10, nil)
+		if len(got.Items) != len(want) {
+			t.Fatalf("user %d: got %d items, want %d", u, len(got.Items), len(want))
+		}
+		for n, it := range got.Items {
+			if it.Item != want[n] {
+				t.Errorf("user %d rank %d: got item %d, want %d", u, n, it.Item, want[n])
+			}
+			if p := model.Predict(u, it.Item); it.Score != p {
+				t.Errorf("user %d item %d: score %v, want %v", u, it.Item, it.Score, p)
+			}
+		}
+		if got.ModelVersion != 1 {
+			t.Errorf("user %d: model_version %d, want 1", u, got.ModelVersion)
+		}
+	}
+}
+
+func TestRecommendCacheHit(t *testing.T) {
+	srv, ts, _, _ := newTestServer(t, Config{})
+	var first, second RecommendResponse
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 5, M: 10}, &first)
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 5, M: 10}, &second)
+	if first.Cached {
+		t.Error("first request reported cached=true")
+	}
+	if !second.Cached {
+		t.Error("repeat request reported cached=false")
+	}
+	if fmt.Sprint(first.Items) != fmt.Sprint(second.Items) {
+		t.Errorf("cached list differs: %v vs %v", first.Items, second.Items)
+	}
+	if hr := srv.Metrics().CacheHitRate(); hr <= 0 {
+		t.Errorf("cache hit rate %v, want > 0", hr)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{CacheSize: -1})
+	var second RecommendResponse
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 5, M: 10}, nil)
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 5, M: 10}, &second)
+	if second.Cached {
+		t.Error("cache disabled but repeat request reported cached=true")
+	}
+}
+
+func TestFoldInMatchesFoldInUser(t *testing.T) {
+	_, ts, model, train := newTestServer(t, Config{})
+	// Use a real user's history as the cold-start input.
+	history := []int{}
+	for _, i := range train.Row(17) {
+		history = append(history, int(i))
+	}
+	if len(history) == 0 {
+		t.Fatal("user 17 has no training positives")
+	}
+	var got FoldInResponse
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: history, M: 10}, &got); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	factor, bias, err := model.FoldInUser(history, foldInCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Factor) != len(factor) {
+		t.Fatalf("factor length %d, want %d", len(got.Factor), len(factor))
+	}
+	for c := range factor {
+		if got.Factor[c] != factor[c] {
+			t.Errorf("factor[%d] = %v, want %v", c, got.Factor[c], factor[c])
+		}
+	}
+	if got.Bias != bias {
+		t.Errorf("bias = %v, want %v", got.Bias, bias)
+	}
+	// Expected ranking: score with the fold-in factor, exclude the history.
+	scores := make([]float64, model.NumItems())
+	model.ScoreWithFactor(factor, bias, scores)
+	hist := make(map[int]bool)
+	for _, i := range history {
+		hist[i] = true
+	}
+	for n, it := range got.Items {
+		if hist[it.Item] {
+			t.Errorf("rank %d: history item %d recommended back", n, it.Item)
+		}
+		if it.Score != scores[it.Item] {
+			t.Errorf("item %d: score %v, want %v", it.Item, it.Score, scores[it.Item])
+		}
+		if n > 0 && got.Items[n-1].Score < it.Score {
+			t.Errorf("ranking not descending at rank %d", n)
+		}
+	}
+	if len(got.Items) != 10 {
+		t.Errorf("got %d items, want 10", len(got.Items))
+	}
+}
+
+func TestExplainMatchesInProcess(t *testing.T) {
+	_, ts, model, train := newTestServer(t, Config{})
+	var rec RecommendResponse
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 9, M: 1}, &rec)
+	item := rec.Items[0].Item
+	var got ExplainResponse
+	if st := postJSON(t, ts.URL+"/v1/explain", ExplainRequest{User: 9, Item: item}, &got); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	want := explain.Explain(model, train, 9, item, explain.Options{})
+	if got.Probability != want.Probability {
+		t.Errorf("probability %v, want %v", got.Probability, want.Probability)
+	}
+	if len(got.Reasons) != len(want.Reasons) {
+		t.Fatalf("%d reasons, want %d", len(got.Reasons), len(want.Reasons))
+	}
+	for n, reason := range want.Reasons {
+		if got.Reasons[n].Cluster != reason.ClusterID {
+			t.Errorf("reason %d: cluster %d, want %d", n, got.Reasons[n].Cluster, reason.ClusterID)
+		}
+		if got.Reasons[n].Contribution != reason.Contribution {
+			t.Errorf("reason %d: contribution %v, want %v", n, got.Reasons[n].Contribution, reason.Contribution)
+		}
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{})
+	users := []int{3, 1, 4, 1, 5, 92, 65}
+	var batch BatchResponse
+	if st := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Users: users, M: 5}, &batch); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	if len(batch.Results) != len(users) {
+		t.Fatalf("%d results, want %d", len(batch.Results), len(users))
+	}
+	for n, u := range users {
+		var single RecommendResponse
+		postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: u, M: 5}, &single)
+		if batch.Results[n].User != u {
+			t.Errorf("result %d: user %d, want %d (order must be preserved)", n, batch.Results[n].User, u)
+		}
+		if fmt.Sprint(batch.Results[n].Items) != fmt.Sprint(single.Items) {
+			t.Errorf("result %d: batch items %v != single items %v", n, batch.Results[n].Items, single.Items)
+		}
+	}
+}
+
+func TestBatchPartialFailure(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{})
+	var batch BatchResponse
+	if st := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Users: []int{2, 100000, 3}, M: 5}, &batch); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	if batch.Results[1].Error == "" {
+		t.Error("out-of-range user in batch did not report an error")
+	}
+	if batch.Results[0].Error != "" || len(batch.Results[0].Items) == 0 {
+		t.Error("valid user 2 was not served alongside the failing one")
+	}
+	if batch.Results[2].Error != "" || len(batch.Results[2].Items) == 0 {
+		t.Error("valid user 3 was not served alongside the failing one")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv, ts, _, _ := newTestServer(t, Config{MaxM: 50, MaxBatch: 4})
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed json", "/v1/recommend", `{"user":`, 400},
+		{"unknown field", "/v1/recommend", `{"usr": 3}`, 400},
+		{"user out of range", "/v1/recommend", `{"user": 100000}`, 400},
+		{"negative user", "/v1/recommend", `{"user": -1}`, 400},
+		{"negative m", "/v1/recommend", `{"user": 1, "m": -2}`, 400},
+		{"m over cap", "/v1/recommend", `{"user": 1, "m": 51}`, 400},
+		{"foldin empty history", "/v1/foldin", `{"items": []}`, 400},
+		{"foldin item out of range", "/v1/foldin", `{"items": [99999]}`, 400},
+		{"explain item out of range", "/v1/explain", `{"user": 1, "item": 99999}`, 400},
+		{"batch empty", "/v1/batch", `{"users": []}`, 400},
+		{"batch over cap", "/v1/batch", `{"users": [1,2,3,4,5]}`, 400},
+	}
+	for _, c := range cases {
+		if got := post(c.path, c.body); got != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, got, c.want)
+		}
+	}
+	// Wrong method routes to 405.
+	resp, err := http.Get(ts.URL + "/v1/recommend")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/recommend: status %d, want 405", resp.StatusCode)
+	}
+	// Error responses must be counted by the instrumentation.
+	var metrics struct {
+		Endpoints map[string]struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"endpoints"`
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.Endpoints["recommend"].Errors == 0 {
+		t.Error("recommend endpoint metrics report zero errors after error requests")
+	}
+	_ = srv
+}
+
+func TestDefaultMRespectsLowCap(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{MaxM: 3})
+	var got RecommendResponse
+	if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 1}, &got); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	if len(got.Items) != 3 {
+		t.Errorf("omitted m returned %d items, want the MaxM cap of 3", len(got.Items))
+	}
+}
+
+func TestReloadSwapsModelAndCache(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{})
+	// Warm the cache on the initial model.
+	var before RecommendResponse
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 11, M: 10}, &before)
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 11, M: 10}, &before)
+	if !before.Cached {
+		t.Fatal("expected warm cache before reload")
+	}
+	// Overwrite the model file with a differently-seeded model and reload.
+	next := trainSmall(t, train, 99)
+	if err := next.SaveModelFile(srv.cfg.ModelPath); err != nil {
+		t.Fatal(err)
+	}
+	var rl ReloadResponse
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, &rl); st != 200 {
+		t.Fatalf("reload status %d", st)
+	}
+	if rl.ModelVersion != 2 {
+		t.Errorf("reload version %d, want 2", rl.ModelVersion)
+	}
+	var after RecommendResponse
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 11, M: 10}, &after)
+	if after.Cached {
+		t.Error("cache survived the reload (stale recommendations)")
+	}
+	if after.ModelVersion != 2 {
+		t.Errorf("post-reload model_version %d, want 2", after.ModelVersion)
+	}
+	want := eval.TopM(next, train, 11, 10, nil)
+	for n, it := range after.Items {
+		if it.Item != want[n] {
+			t.Fatalf("post-reload rank %d: item %d, want %d (old model still served?)", n, it.Item, want[n])
+		}
+	}
+	// A corrupt model file must fail the reload but keep serving.
+	if err := writeFile(srv.cfg.ModelPath, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, nil); st != 500 {
+		t.Errorf("corrupt reload status %d, want 500", st)
+	}
+	var still RecommendResponse
+	if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 11, M: 10}, &still); st != 200 {
+		t.Fatalf("serving broken after failed reload: status %d", st)
+	}
+	if still.ModelVersion != 2 {
+		t.Errorf("failed reload changed the served version to %d", still.ModelVersion)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TestConcurrentLoadWithReloads hammers the read endpoints from many
+// goroutines while the model is hot-swapped repeatedly. Every request must
+// succeed — a reload may never drop an in-flight request. Run with -race.
+func TestConcurrentLoadWithReloads(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{CacheSize: 256})
+	alt := trainSmall(t, train, 99)
+
+	const (
+		readers         = 8
+		requestsPerGoro = 40
+		reloads         = 20
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers*requestsPerGoro+reloads)
+	client := ts.Client()
+	do := func(path, body string) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			errc <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			errc <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < requestsPerGoro; n++ {
+				u := (g*31 + n) % 120
+				switch n % 3 {
+				case 0:
+					do("/v1/recommend", fmt.Sprintf(`{"user": %d, "m": 10}`, u))
+				case 1:
+					do("/v1/batch", fmt.Sprintf(`{"users": [%d, %d], "m": 5}`, u, (u+1)%120))
+				case 2:
+					do("/v1/explain", fmt.Sprintf(`{"user": %d, "item": %d}`, u, u%80))
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < reloads; n++ {
+			m := alt
+			if n%2 == 1 {
+				m = trainSmall(t, train, 3)
+			}
+			if err := srv.Reload(m); err != nil {
+				errc <- err
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if v := srv.Version(); v != 1+reloads {
+		t.Errorf("version %d after %d reloads, want %d", v, reloads, 1+reloads)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status       string `json:"status"`
+		ModelVersion uint64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.ModelVersion != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 1, M: 5}, nil)
+	postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 1, M: 5}, nil)
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Cache struct {
+			Hits    int64   `json:"hits"`
+			HitRate float64 `json:"hit_rate"`
+			Entries int     `json:"entries"`
+		} `json:"cache"`
+		Endpoints map[string]struct {
+			Requests         int64            `json:"requests"`
+			LatencyHistogram map[string]int64 `json:"latency_histogram"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if metrics.Cache.Hits == 0 || metrics.Cache.HitRate <= 0 {
+		t.Errorf("cache metrics %+v, want non-zero hits after repeat request", metrics.Cache)
+	}
+	if metrics.Cache.Entries == 0 {
+		t.Error("cache reports zero entries after a miss")
+	}
+	rec := metrics.Endpoints["recommend"]
+	if rec.Requests < 2 {
+		t.Errorf("recommend requests %d, want >= 2", rec.Requests)
+	}
+	total := int64(0)
+	for _, n := range rec.LatencyHistogram {
+		total += n
+	}
+	if total != rec.Requests {
+		t.Errorf("latency histogram sums to %d, want %d", total, rec.Requests)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard of capacity 2: the oldest of three distinct keys must go.
+	c := newTopCache(2, 1)
+	put := func(u int) { c.put(cacheKey{user: u, m: 5}, []int{u}, []float64{1}) }
+	get := func(u int) bool { _, _, ok := c.get(cacheKey{user: u, m: 5}); return ok }
+	put(1)
+	put(2)
+	if !get(1) { // touch 1 so 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	put(3)
+	if get(2) {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	if !get(1) || !get(3) {
+		t.Error("recently used entries evicted")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache len %d, want 2", c.len())
+	}
+	// nil cache is a valid always-miss cache.
+	var nilCache *topCache
+	if _, _, ok := nilCache.get(cacheKey{}); ok {
+		t.Error("nil cache returned a hit")
+	}
+	nilCache.put(cacheKey{}, nil, nil)
+	if nilCache.len() != 0 {
+		t.Error("nil cache non-empty")
+	}
+}
+
+func TestServerRejectsShapeMismatch(t *testing.T) {
+	train := dataset.SyntheticSmall(1).Dataset.R
+	model := trainSmall(t, train, 3)
+	// A model over a different item count than the exclusion matrix.
+	bigger := sparse.NewBuilder(train.Rows(), train.Cols()+1).Build()
+	if _, err := New(model, Config{Train: bigger}); err == nil {
+		t.Error("New accepted a model/train shape mismatch")
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("New accepted a nil model")
+	}
+	srv, err := New(model, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ReloadFromFile(); err == nil {
+		t.Error("ReloadFromFile without ModelPath did not error")
+	}
+}

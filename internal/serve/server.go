@@ -1,0 +1,249 @@
+// Package serve is the online recommendation serving subsystem: a
+// concurrent HTTP JSON API over a trained, serialized OCuLaR model. It
+// completes the train-once / serve-many lifecycle the paper's production
+// deployment is built around (Section IV-D): cmd/ocular trains and saves a
+// model, cmd/ocular-serve loads it and answers top-M recommendation,
+// cold-start fold-in, and co-cluster explanation queries.
+//
+// The hot path is allocation-disciplined: per-request score buffers come
+// from a sync.Pool and are handed to eval.TopM as scratch, and computed
+// top-M lists land in a sharded LRU cache keyed by (user, m). The model is
+// hot-swappable: Reload atomically installs a new snapshot (model + fresh
+// cache + fresh buffer pool) without dropping in-flight requests, which
+// keep serving from the snapshot they started with.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/sparse"
+)
+
+// Config tunes a Server. The zero value serves with defaults (cache of
+// 4096 lists, all-core batch fan-out, no exclusion matrix).
+type Config struct {
+	// ModelPath is the serialized model file re-read by Reload and the
+	// /v1/reload endpoint. Empty disables file reloads (the initial model
+	// must then be supplied to New directly).
+	ModelPath string
+	// Train, when non-nil, is the training matrix; items a user has a
+	// training positive for are excluded from that user's recommendations,
+	// matching the offline evaluation protocol. Its shape must equal the
+	// model's.
+	Train *sparse.Matrix
+	// FoldIn supplies the solver settings for /v1/foldin (Lambda,
+	// Relative, MaxIter, ...). K is taken from the model.
+	FoldIn core.Config
+	// CacheSize is the approximate total number of cached top-M lists.
+	// 0 means the default (4096); negative disables caching.
+	CacheSize int
+	// CacheShards is the shard count of the LRU cache (rounded up to a
+	// power of two). 0 means 16.
+	CacheShards int
+	// Workers bounds the per-request fan-out of /v1/batch. 0 means all
+	// cores.
+	Workers int
+	// MaxM caps the requested list length m. 0 means 1000.
+	MaxM int
+	// MaxBatch caps the number of users in one /v1/batch request. 0 means
+	// 1024.
+	MaxBatch int
+	// MaxBodyBytes caps request body size. 0 means 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 1000
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// snapshot is one immutable serving state: a model, its exclusion matrix,
+// its top-M cache and its score-buffer pool. Handlers load the snapshot
+// pointer once per request, so a concurrent reload never mixes state.
+type snapshot struct {
+	model    *core.Model
+	train    *sparse.Matrix // never nil; empty matrix when no exclusions
+	version  uint64
+	loadedAt time.Time
+	cache    *topCache
+	bufs     sync.Pool // *[]float64 of length model.NumItems()
+}
+
+func (sn *snapshot) getBuf() []float64 {
+	if p, ok := sn.bufs.Get().(*[]float64); ok {
+		return *p
+	}
+	return make([]float64, sn.model.NumItems())
+}
+
+func (sn *snapshot) putBuf(b []float64) {
+	sn.bufs.Put(&b)
+}
+
+// Server answers recommendation queries over the current model snapshot.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	snap    atomic.Pointer[snapshot]
+	version atomic.Uint64
+	metrics *Metrics
+	mux     *http.ServeMux
+	// reloadMu serializes reloads: without it, two concurrent reloads (the
+	// /v1/reload handler and the SIGHUP path) could each read the model
+	// file and then install their snapshots in the opposite order, leaving
+	// a stale model served under a newer version number.
+	reloadMu sync.Mutex
+}
+
+// New builds a Server serving model. The model must match cfg.Train's
+// shape when an exclusion matrix is configured.
+func New(model *core.Model, cfg Config) (*Server, error) {
+	// Negative CacheSize means "disable", but a negative limit would
+	// silently brick an endpoint (every request rejected or empty), so
+	// those are configuration errors.
+	switch {
+	case cfg.MaxM < 0:
+		return nil, fmt.Errorf("serve: MaxM must be >= 0, got %d", cfg.MaxM)
+	case cfg.MaxBatch < 0:
+		return nil, fmt.Errorf("serve: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
+	case cfg.MaxBodyBytes < 0:
+		return nil, fmt.Errorf("serve: MaxBodyBytes must be >= 0, got %d", cfg.MaxBodyBytes)
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, metrics: newMetrics(endpointNames)}
+	if err := s.install(model); err != nil {
+		return nil, err
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// NewFromFile builds a Server from the serialized model at cfg.ModelPath.
+func NewFromFile(cfg Config) (*Server, error) {
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: NewFromFile needs Config.ModelPath")
+	}
+	model, err := core.LoadModelFile(cfg.ModelPath)
+	if err != nil {
+		return nil, err
+	}
+	return New(model, cfg)
+}
+
+// install validates model against the configuration and atomically swaps
+// in a fresh snapshot (new cache, new buffer pool, bumped version).
+func (s *Server) install(model *core.Model) error {
+	if model == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	train := s.cfg.Train
+	if train != nil {
+		if train.Rows() != model.NumUsers() || train.Cols() != model.NumItems() {
+			return fmt.Errorf("serve: model shape %dx%d does not match train matrix %dx%d",
+				model.NumUsers(), model.NumItems(), train.Rows(), train.Cols())
+		}
+	} else {
+		train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
+	}
+	sn := &snapshot{
+		model:    model,
+		train:    train,
+		version:  s.version.Add(1),
+		loadedAt: time.Now(),
+		cache:    newTopCache(s.cfg.CacheSize, s.cfg.CacheShards),
+	}
+	s.snap.Store(sn)
+	return nil
+}
+
+// Reload atomically replaces the served model. In-flight requests finish
+// against the snapshot they started with; new requests see the new model
+// and an empty cache.
+func (s *Server) Reload(model *core.Model) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.reloadLocked(model)
+}
+
+func (s *Server) reloadLocked(model *core.Model) error {
+	if err := s.install(model); err != nil {
+		return err
+	}
+	s.metrics.reloads.Add(1)
+	return nil
+}
+
+// ReloadFromFile re-reads Config.ModelPath and installs the result — the
+// handler behind POST /v1/reload and the SIGHUP path of cmd/ocular-serve.
+// The file read happens under the reload lock so concurrent reloads cannot
+// install their models out of read order.
+func (s *Server) ReloadFromFile() error {
+	if s.cfg.ModelPath == "" {
+		return fmt.Errorf("serve: no ModelPath configured for reload")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	model, err := core.LoadModelFile(s.cfg.ModelPath)
+	if err != nil {
+		return err
+	}
+	return s.reloadLocked(model)
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *core.Model { return s.snap.Load().model }
+
+// Version returns the current snapshot version (1 for the initial model,
+// incremented by every reload).
+func (s *Server) Version() uint64 { return s.snap.Load().version }
+
+// Metrics exposes the server's counters, mainly for tests and benchmarks.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// rankTopM ranks rec's scores for user u of the exclusion matrix train
+// using a pooled score buffer, returning the top-m items with their scores.
+func (sn *snapshot) rankTopM(rec eval.Recommender, train *sparse.Matrix, u, m int) (items []int, scores []float64) {
+	buf := sn.getBuf()
+	items = eval.TopM(rec, train, u, m, buf)
+	scores = make([]float64, len(items))
+	for n, i := range items {
+		scores[n] = buf[i]
+	}
+	sn.putBuf(buf)
+	return items, scores
+}
+
+// topM returns the top-m list for user u on snapshot sn, serving from the
+// snapshot's cache when possible. The returned slices are shared with the
+// cache and must not be modified.
+func (s *Server) topM(sn *snapshot, u, m int) (items []int, scores []float64, cached bool) {
+	key := cacheKey{user: u, m: m}
+	if items, scores, ok := sn.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		return items, scores, true
+	}
+	s.metrics.cacheMisses.Add(1)
+	items, scores = sn.rankTopM(sn.model, sn.train, u, m)
+	sn.cache.put(key, items, scores)
+	return items, scores, false
+}

@@ -162,6 +162,11 @@ func Train(r *Matrix, cfg Config) (*Result, error) { return core.Train(r, cfg) }
 // let a deployment train once and serve recommendations from saved factors.
 func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
 
+// LoadModelFile reads a model saved with Model.SaveModelFile (or WriteTo) —
+// the loading half of the train-once/serve-many lifecycle that
+// cmd/ocular-serve is built on.
+func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path) }
+
 // --- Evaluation -----------------------------------------------------------
 
 // Recommender is the scoring interface all algorithms implement.
