@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -48,7 +49,7 @@ func TestSumTrickMatchesNaiveGradient(t *testing.T) {
 		m := smallMatrix(uint64(seed)+71, 8+r.Intn(20), 6+r.Intn(15), 60)
 		cfg := Config{K: 1 + r.Intn(5), Lambda: r.Float64() * 2, Seed: uint64(seed)}.withDefaults()
 		tr := newTrainer(m, cfg)
-		sumOther(tr.sum, tr.m.fu, cfg.K)
+		parallel.SumVectors(tr.sum, tr.m.fu, cfg.K, 1)
 
 		item := r.Intn(m.Cols())
 		fi := append([]float64(nil), tr.m.fi[item*cfg.K:(item+1)*cfg.K]...)
@@ -82,13 +83,13 @@ func TestSingleUpdateNeverIncreasesPartialObjective(t *testing.T) {
 			Relative: r.Bernoulli(0.5), Seed: uint64(seed),
 		}.withDefaults()
 		tr := newTrainer(m, cfg)
-		sumOther(tr.sum, tr.m.fu, cfg.K)
+		parallel.SumVectors(tr.sum, tr.m.fu, cfg.K, 1)
 
 		item := r.Intn(m.Cols())
 		fi := tr.m.fi[item*cfg.K : (item+1)*cfg.K]
 		side := sideCtx{pos: tr.rt.Row(item), others: tr.m.fu, wTable: tr.weights, wScalar: 1}
 		before := tr.partialObjective(fi, side)
-		tr.updateFactor(fi, side, make([]float64, 2*cfg.K))
+		tr.updateFactor(fi, side, &parallel.Scratch{})
 		after := tr.partialObjective(fi, side)
 		return after <= before+1e-9*math.Abs(before)
 	}
@@ -104,7 +105,7 @@ func BenchmarkAblationSumTrick(b *testing.B) {
 	d := dataset.SyntheticSmall(5)
 	cfg := Config{K: 10, Lambda: 2, Seed: 1}.withDefaults()
 	tr := newTrainer(d.R, cfg)
-	sumOther(tr.sum, tr.m.fu, cfg.K)
+	parallel.SumVectors(tr.sum, tr.m.fu, cfg.K, 1)
 	grad := make([]float64, cfg.K)
 
 	b.Run("sum-trick", func(b *testing.B) {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/sparse"
 )
@@ -80,7 +81,7 @@ func TestGradientMatchesFiniteDifference(t *testing.T) {
 	m := smallMatrix(3, 10, 8, 25)
 	cfg := Config{K: 4, Lambda: 0.3, Seed: 7}.withDefaults()
 	tr := newTrainer(m, cfg)
-	sumOther(tr.sum, tr.m.fu, cfg.K)
+	parallel.SumVectors(tr.sum, tr.m.fu, cfg.K, 1)
 
 	for _, item := range []int{0, 3, 7} {
 		f := append([]float64(nil), tr.m.fi[item*cfg.K:(item+1)*cfg.K]...)
@@ -111,7 +112,7 @@ func TestGradientWithWeightsMatchesFiniteDifference(t *testing.T) {
 	m := smallMatrix(5, 10, 8, 25)
 	cfg := Config{K: 3, Lambda: 0.2, Seed: 9, Relative: true}.withDefaults()
 	tr := newTrainer(m, cfg)
-	sumOther(tr.sum, tr.m.fu, cfg.K)
+	parallel.SumVectors(tr.sum, tr.m.fu, cfg.K, 1)
 
 	item := 2
 	f := append([]float64(nil), tr.m.fi[item*cfg.K:(item+1)*cfg.K]...)

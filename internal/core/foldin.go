@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -41,7 +42,7 @@ func (m *Model) FoldInUser(items []int, cfg Config) (factor []float64, bias floa
 	}
 
 	t := &trainer{cfg: cfg, m: m, sum: make([]float64, m.k)}
-	sumOther(t.sum, m.fi, m.k)
+	parallel.SumVectors(t.sum, m.fi, m.k, cfg.Workers)
 
 	f := make([]float64, m.k)
 	rnd := rng.New(cfg.Seed)
@@ -57,7 +58,7 @@ func (m *Model) FoldInUser(items []int, cfg Config) (factor []float64, bias floa
 		side.otherBias = m.bi
 	}
 	nZeros := float64(m.items - len(pos))
-	scratch := make([]float64, 2*m.k)
+	scratch := &parallel.Scratch{}
 
 	total := func() float64 {
 		q := t.partialObjective(f, side)
@@ -69,11 +70,15 @@ func (m *Model) FoldInUser(items []int, cfg Config) (factor []float64, bias floa
 	prev := total()
 	for it := 0; it < cfg.MaxIter; it++ {
 		side.selfBias = bias
-		t.updateFactor(f, side, scratch)
+		// updateFactor returns the subproblem objective at the factor it
+		// leaves behind — the convergence value for bias-free models. With
+		// biases the subsequent 1-D step moves b after that partial was
+		// computed, so the objective is re-evaluated at the final (f, b).
+		q := t.updateFactor(f, side, scratch)
 		if m.bu != nil {
-			bias = t.updateBias(bias, f, side, nZeros)
+			bias = t.updateBias(bias, f, side, nZeros, scratch)
+			q = total()
 		}
-		q := total()
 		if prev-q <= cfg.Tol*math.Abs(prev) {
 			break
 		}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// TestFusedMatchesReferenceTraces is the kernel-equivalence contract of the
+// fused training path: across K, Relative, Bias and Workers, the fused
+// one-pass/incremental-line-search kernels must produce an objective trace
+// matching the unfused reference kernels within 1e-9 relative at every
+// outer iteration. (The paths reorder floating-point sums, so bitwise
+// equality is not expected — trajectory agreement is.)
+func TestFusedMatchesReferenceTraces(t *testing.T) {
+	for _, k := range []int{1, 4, 16} {
+		for _, relative := range []bool{false, true} {
+			for _, bias := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("K=%d/relative=%v/bias=%v/workers=%d", k, relative, bias, workers)
+					t.Run(name, func(t *testing.T) {
+						m := smallMatrix(uint64(100+k), 50, 40, 320)
+						cfg := Config{
+							K: k, Lambda: 1.5, MaxIter: 12, Tol: 1e-12, Seed: 7,
+							Relative: relative, Bias: bias, Workers: workers,
+						}
+						fused, err := Train(m, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg.Reference = true
+						ref, err := Train(m, cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(fused.Objective) != len(ref.Objective) {
+							t.Fatalf("trace lengths differ: fused %d, reference %d",
+								len(fused.Objective), len(ref.Objective))
+						}
+						for i := range fused.Objective {
+							f, r := fused.Objective[i], ref.Objective[i]
+							if math.Abs(f-r) > 1e-9*(1+math.Abs(r)) {
+								t.Fatalf("iter %d: fused objective %v, reference %v (rel diff %g)",
+									i, f, r, math.Abs(f-r)/(1+math.Abs(r)))
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestFusedMatchesReferenceGradSteps extends the equivalence contract to
+// multi-step subproblem solves, where the fused kernels re-enter the fused
+// pass with the factor updated by the previous step.
+func TestFusedMatchesReferenceGradSteps(t *testing.T) {
+	m := smallMatrix(42, 40, 30, 250)
+	cfg := Config{K: 5, Lambda: 1, MaxIter: 8, Tol: 1e-12, Seed: 3, GradSteps: 3}
+	fused, err := Train(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Reference = true
+	ref, err := Train(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fused.Objective {
+		f, r := fused.Objective[i], ref.Objective[i]
+		if math.Abs(f-r) > 1e-9*(1+math.Abs(r)) {
+			t.Fatalf("iter %d: fused %v, reference %v", i, f, r)
+		}
+	}
+}
+
+// TestFusedSerialParallelBitIdentical: on the fused path (and its bias and
+// relative variants) serial and parallel schedules must remain bit-identical
+// — factor updates are row-local and every cross-row reduction, including
+// the parallelized convergence objective, uses a fixed-block deterministic
+// tree.
+func TestFusedSerialParallelBitIdentical(t *testing.T) {
+	for _, relative := range []bool{false, true} {
+		for _, bias := range []bool{false, true} {
+			t.Run(fmt.Sprintf("relative=%v/bias=%v", relative, bias), func(t *testing.T) {
+				m := smallMatrix(17, 300, 200, 2500)
+				cfg := Config{
+					K: 6, Lambda: 1, MaxIter: 6, Tol: 1e-12, Seed: 13,
+					Relative: relative, Bias: bias, Workers: 1,
+				}
+				serial, err := Train(m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Workers = 4
+				par, err := Train(m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range serial.Model.fu {
+					if serial.Model.fu[i] != par.Model.fu[i] {
+						t.Fatalf("user factor %d differs between serial and parallel", i)
+					}
+				}
+				for i := range serial.Model.fi {
+					if serial.Model.fi[i] != par.Model.fi[i] {
+						t.Fatalf("item factor %d differs between serial and parallel", i)
+					}
+				}
+				if bias {
+					for i := range serial.Model.bu {
+						if serial.Model.bu[i] != par.Model.bu[i] {
+							t.Fatalf("user bias %d differs between serial and parallel", i)
+						}
+					}
+					for i := range serial.Model.bi {
+						if serial.Model.bi[i] != par.Model.bi[i] {
+							t.Fatalf("item bias %d differs between serial and parallel", i)
+						}
+					}
+				}
+				for i := range serial.Objective {
+					if serial.Objective[i] != par.Objective[i] {
+						t.Fatalf("objective trace %d differs between serial and parallel", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestObjectiveWeightedMatchesObjective: the cached-weight entry point must
+// agree exactly with the allocating exported wrapper, for any worker count.
+func TestObjectiveWeightedMatchesObjective(t *testing.T) {
+	m := smallMatrix(23, 120, 90, 900)
+	for _, relative := range []bool{false, true} {
+		res, err := Train(m, Config{K: 4, Lambda: 1, MaxIter: 4, Seed: 5, Relative: relative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Model.Objective(m, 1, relative)
+		weights := userWeights(m, relative)
+		for _, workers := range []int{1, 3, 8} {
+			if got := res.Model.ObjectiveWeighted(m, 1, weights, workers); got != want {
+				t.Fatalf("relative=%v workers=%d: ObjectiveWeighted %v != Objective %v",
+					relative, workers, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkTrainSweep isolates the factor-sweep cost of one outer iteration
+// (no convergence check), the quantity behind the Fig 7 linearity claim.
+// The reference sub-runs measure the pre-fusion kernels for attribution.
+func BenchmarkTrainSweep(b *testing.B) {
+	d := dataset.SyntheticSmall(1)
+	for _, bc := range []struct {
+		name      string
+		workers   int
+		reference bool
+	}{
+		{"fused/serial", 1, false},
+		{"fused/parallel", parallel.DefaultWorkers(), false},
+		{"reference/serial", 1, true},
+		{"reference/parallel", parallel.DefaultWorkers(), true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := Config{K: 10, Lambda: 5, Seed: 1, Workers: bc.workers, Reference: bc.reference}.withDefaults()
+			tr := newTrainer(d.R, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.sweepItems()
+				tr.sweepUsers()
+			}
+		})
+	}
+}
+
+// BenchmarkTrainObjective isolates the per-iteration convergence check —
+// the ObjectiveWeighted pass with the trainer's cached weight table — so
+// BENCH trajectories can attribute wins to sweep versus check.
+func BenchmarkTrainObjective(b *testing.B) {
+	d := dataset.SyntheticSmall(1)
+	for _, workers := range []int{1, parallel.DefaultWorkers()} {
+		name := "serial"
+		if workers != 1 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{K: 10, Lambda: 5, Seed: 1, Workers: workers, Relative: true}.withDefaults()
+			tr := newTrainer(d.R, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.objective()
+			}
+		})
+	}
+}

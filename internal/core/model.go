@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -129,22 +130,34 @@ func (m *Model) String() string {
 // weights when relative is true. Bias terms, when present, are included in
 // the affinities and regularized with the same lambda. It is exported for
 // tests and for the Fig 8 distance-to-optimal-likelihood experiment.
+//
+// Objective derives the weight table on every call and uses all cores; hot
+// paths that evaluate Q repeatedly (the trainer's per-iteration convergence
+// check) call ObjectiveWeighted with a cached table instead.
 func (m *Model) Objective(r *sparse.Matrix, lambda float64, relative bool) float64 {
+	return m.ObjectiveWeighted(r, lambda, userWeights(r, relative), 0)
+}
+
+// ObjectiveWeighted is Objective with the R-OCuLaR weight table supplied by
+// the caller (nil for the unweighted OCuLaR objective; otherwise one weight
+// per user) and an explicit worker count (0 = all cores). The O(nnz·K)
+// positive-pair scan and the factor block sums run in parallel through
+// fixed-block deterministic reductions, so the result is bit-identical for
+// every worker count.
+func (m *Model) ObjectiveWeighted(r *sparse.Matrix, lambda float64, weights []float64, workers int) float64 {
 	if r.Rows() != m.users || r.Cols() != m.items {
 		panic("core: Objective matrix shape mismatch")
 	}
-	weights := userWeights(r, relative)
+	if weights != nil && len(weights) != m.users {
+		panic("core: Objective weight table length mismatch")
+	}
 	// Σ over unknowns of z = Σ over all pairs − Σ over positives, with
 	// Σ over all pairs of ⟨fu,fi⟩ = ⟨Σu fu, Σi fi⟩ and the bias part
 	// n_i·Σ b_u + n_u·Σ b_i.
 	sumFU := make([]float64, m.k)
 	sumFI := make([]float64, m.k)
-	for u := 0; u < m.users; u++ {
-		linalg.Axpy(1, m.UserFactor(u), sumFU)
-	}
-	for i := 0; i < m.items; i++ {
-		linalg.Axpy(1, m.ItemFactor(i), sumFI)
-	}
+	parallel.SumVectors(sumFU, m.fu, m.k, workers)
+	parallel.SumVectors(sumFI, m.fi, m.k, workers)
 	q := linalg.Dot(sumFU, sumFI)
 	if m.bu != nil {
 		var sbu, sbi float64
@@ -156,22 +169,36 @@ func (m *Model) Objective(r *sparse.Matrix, lambda float64, relative bool) float
 		}
 		q += float64(m.items)*sbu + float64(m.users)*sbi
 	}
-	for u := 0; u < m.users; u++ {
-		fu := m.UserFactor(u)
-		w := 1.0
-		if weights != nil {
-			w = weights[u]
-		}
-		for _, ic := range r.Row(u) {
-			i := int(ic)
-			z := linalg.Dot(fu, m.ItemFactor(i))
-			if m.bu != nil {
-				z += m.bu[u] + m.bi[i]
+	q += parallel.ReduceSum(m.users, workers, func(lo, hi int) float64 {
+		var part float64
+		for u := lo; u < hi; u++ {
+			row := r.Row(u)
+			if len(row) == 0 {
+				continue
 			}
-			q -= z // remove the positive pair from the unknown-sum term
-			q -= w * math.Log(1-math.Exp(-clampDot(z)))
+			fu := m.UserFactor(u)
+			w := 1.0
+			if weights != nil {
+				w = weights[u]
+			}
+			// The weight is constant within a row, so the row's log terms
+			// batch into a single logarithm of a renormalized product —
+			// one math.Log per user instead of one per positive.
+			var lp logProd
+			lp.init()
+			for _, ic := range row {
+				i := int(ic)
+				z := linalg.Dot(fu, m.ItemFactor(i))
+				if m.bu != nil {
+					z += m.bu[u] + m.bi[i]
+				}
+				part -= z // remove the positive pair from the unknown-sum term
+				lp.mul(1 - math.Exp(-clampDot(z)))
+			}
+			part -= w * lp.log()
 		}
-	}
+		return part
+	})
 	q += lambda * (linalg.Norm2Sq(m.fu) + linalg.Norm2Sq(m.fi))
 	if m.bu != nil {
 		q += lambda * (linalg.Norm2Sq(m.bu) + linalg.Norm2Sq(m.bi))

@@ -56,9 +56,19 @@ type Config struct {
 	Seed uint64
 	// Workers sets the number of parallel workers for the factor-update
 	// kernels; 0 or 1 runs the serial reference path. Factor updates within
-	// a block are independent, so parallel and serial paths produce
+	// a block are independent and every cross-row reduction uses a
+	// fixed-block deterministic tree, so parallel and serial paths produce
 	// bit-identical models.
 	Workers int
+	// Reference selects the unfused reference kernels: separate objective
+	// and gradient passes and a full O(|pos|·K) re-evaluation per
+	// backtracking candidate. The default fused kernels (kernels.go) compute
+	// the same quantities in one pass with an incremental line search; they
+	// reorder floating-point sums, so the two paths agree to rounding
+	// (objective traces within 1e-9 relative) rather than bitwise. The
+	// reference path is retained for equivalence testing and benchmarking
+	// the fusion win.
+	Reference bool
 	// OnIteration, when non-nil, is called after every outer iteration with
 	// the iteration index (from 0) and the objective value — progress
 	// reporting for long trainings and the hook behind cmd/ocular -v.
@@ -127,8 +137,11 @@ type Result struct {
 	// value at initialization; it is non-increasing by the line-search
 	// descent guarantee.
 	Objective []float64
-	// IterTime holds the wall-clock duration of each outer iteration
-	// (excluding the objective evaluation used for the convergence check).
+	// IterTime holds the wall-clock duration of each outer iteration,
+	// excluding any separate objective evaluation used for the convergence
+	// check. (On the default fused path there is none — the objective is
+	// assembled from the sweep's own line-search partials at O(users) cost,
+	// which is included.)
 	IterTime []time.Duration
 	// Converged reports whether the tolerance was reached before MaxIter.
 	Converged bool
@@ -165,6 +178,10 @@ type trainer struct {
 	m       *Model
 	weights []float64 // R-OCuLaR w_u indexed by user, nil for plain OCuLaR
 	sum     []float64 // Σ of the fixed block's factors (sum trick)
+	// qRow collects the per-user partial objectives emitted by the user
+	// sweep's line search; non-nil only when the fused path assembles the
+	// convergence objective from them (see traceObjective).
+	qRow []float64
 }
 
 func newTrainer(r *sparse.Matrix, cfg Config) *trainer {
@@ -225,14 +242,28 @@ func newTrainer(r *sparse.Matrix, cfg Config) *trainer {
 
 func (t *trainer) run() *Result {
 	res := &Result{Model: t.m}
-	q := t.m.Objective(t.r, t.cfg.Lambda, t.cfg.Relative)
+	q := t.objective()
 	res.Objective = append(res.Objective, q)
+	// The fused kernels hand back each user subproblem's line-search
+	// objective, from which the full Q is assembled for free. The bias
+	// extension moves the biases after those partials are computed, so
+	// bias runs (like the reference path) pay the explicit objective pass.
+	fusedTrace := !t.cfg.Reference && !t.cfg.Bias
+	if fusedTrace {
+		t.qRow = make([]float64, t.m.users)
+	}
 	for iter := 0; iter < t.cfg.MaxIter; iter++ {
 		start := time.Now()
 		t.sweepItems()
 		t.sweepUsers()
-		res.IterTime = append(res.IterTime, time.Since(start))
-		qNew := t.m.Objective(t.r, t.cfg.Lambda, t.cfg.Relative)
+		var qNew float64
+		if fusedTrace {
+			qNew = t.traceObjective()
+			res.IterTime = append(res.IterTime, time.Since(start))
+		} else {
+			res.IterTime = append(res.IterTime, time.Since(start))
+			qNew = t.objective()
+		}
 		res.Objective = append(res.Objective, qNew)
 		if t.cfg.OnIteration != nil {
 			t.cfg.OnIteration(iter, qNew)
@@ -247,6 +278,31 @@ func (t *trainer) run() *Result {
 	return res
 }
 
+// traceObjective assembles the eq. (4) objective of the just-finished outer
+// iteration from the user sweep's per-row line-search partials:
+// Q = Σ_u q_u + λ‖f_i‖² (the identity documented in kernels.go). Cost is
+// O(users + items·K) — no pass over the positives and no exponentials —
+// versus the O(nnz·K) ObjectiveWeighted evaluation it replaces. The block
+// reduction is the same fixed-width deterministic tree, so the trace stays
+// bit-identical across worker counts.
+func (t *trainer) traceObjective() float64 {
+	q := parallel.ReduceSum(t.m.users, t.cfg.Workers, func(lo, hi int) float64 {
+		var s float64
+		for u := lo; u < hi; u++ {
+			s += t.qRow[u]
+		}
+		return s
+	})
+	return q + t.cfg.Lambda*linalg.Norm2Sq(t.m.fi)
+}
+
+// objective evaluates the convergence-check objective, threading the
+// trainer's cached R-OCuLaR weight table and worker pool through so the
+// per-iteration pass neither re-derives the weights nor runs serially.
+func (t *trainer) objective() float64 {
+	return t.m.ObjectiveWeighted(t.r, t.cfg.Lambda, t.weights, t.cfg.Workers)
+}
+
 // sweepItems updates every item factor by one projected gradient step,
 // holding user factors fixed. Items are independent given Σ_u f_u, so the
 // sweep parallelizes across items; this mirrors the structure of the
@@ -256,10 +312,9 @@ func (t *trainer) run() *Result {
 // For item updates, the R-OCuLaR weight of a positive pair depends on which
 // user it involves, so the per-user weight table is passed through.
 func (t *trainer) sweepItems() {
-	sumOther(t.sum, t.m.fu, t.cfg.K)
+	parallel.SumVectors(t.sum, t.m.fu, t.cfg.K, t.cfg.Workers)
 	k := t.cfg.K
 	parallel.For(t.m.items, t.cfg.Workers, func(i int, scratch *parallel.Scratch) {
-		ws := scratch.Float64s(2 * k)
 		side := sideCtx{
 			pos: t.rt.Row(i), others: t.m.fu,
 			wTable: t.weights, wScalar: 1,
@@ -267,12 +322,12 @@ func (t *trainer) sweepItems() {
 		if t.cfg.Bias {
 			side.selfBias, side.otherBias = t.m.bi[i], t.m.bu
 		}
-		t.updateFactor(t.m.fi[i*k:(i+1)*k], side, ws)
+		t.updateFactor(t.m.fi[i*k:(i+1)*k], side, scratch)
 		if t.cfg.Bias {
 			// Then the 1-D bias step against the just-updated factor. The
 			// count of unknowns in this column is n_u − deg(i).
 			t.m.bi[i] = t.updateBias(t.m.bi[i], t.m.fi[i*k:(i+1)*k], side,
-				float64(t.m.users-len(side.pos)))
+				float64(t.m.users-len(side.pos)), scratch)
 		}
 	})
 }
@@ -280,10 +335,9 @@ func (t *trainer) sweepItems() {
 // sweepUsers is the symmetric sweep over user factors. For a fixed user u,
 // every positive pair shares the same weight w_u, passed as the scalar.
 func (t *trainer) sweepUsers() {
-	sumOther(t.sum, t.m.fi, t.cfg.K)
+	parallel.SumVectors(t.sum, t.m.fi, t.cfg.K, t.cfg.Workers)
 	k := t.cfg.K
 	parallel.For(t.m.users, t.cfg.Workers, func(u int, scratch *parallel.Scratch) {
-		ws := scratch.Float64s(2 * k)
 		w := 1.0
 		if t.weights != nil {
 			w = t.weights[u]
@@ -292,10 +346,13 @@ func (t *trainer) sweepUsers() {
 		if t.cfg.Bias {
 			side.selfBias, side.otherBias = t.m.bu[u], t.m.bi
 		}
-		t.updateFactor(t.m.fu[u*k:(u+1)*k], side, ws)
+		qu := t.updateFactor(t.m.fu[u*k:(u+1)*k], side, scratch)
+		if t.qRow != nil {
+			t.qRow[u] = qu
+		}
 		if t.cfg.Bias {
 			t.m.bu[u] = t.updateBias(t.m.bu[u], t.m.fu[u*k:(u+1)*k], side,
-				float64(t.m.items-len(side.pos)))
+				float64(t.m.items-len(side.pos)), scratch)
 		}
 	})
 }
@@ -329,15 +386,31 @@ func (s *sideCtx) bias(idx int32) float64 {
 
 // updateFactor performs the projected-gradient-with-backtracking update of
 // Section IV-D on factor f (length K); GradSteps > 1 repeats the step to
-// approximate an exact subproblem solve. scratch must have length >= 2K.
-func (t *trainer) updateFactor(f []float64, side sideCtx, scratch []float64) {
-	k := t.cfg.K
-	grad := scratch[0:k]
-	cand := scratch[k : 2*k]
+// approximate an exact subproblem solve. It dispatches to the fused
+// one-pass kernels (kernels.go) unless Config.Reference asks for the
+// unfused reference implementation below. Both return the partial
+// objective (eq. 5) at the factor left in f.
+func (t *trainer) updateFactor(f []float64, side sideCtx, scratch *parallel.Scratch) float64 {
+	if t.cfg.Reference {
+		return t.updateFactorRef(f, side, scratch)
+	}
+	return t.updateFactorFused(f, side, scratch)
+}
 
+// updateFactorRef is the reference implementation: partialObjective and
+// gradient each walk the positives list, and every backtracking candidate
+// is re-evaluated in full O(|pos|·K).
+func (t *trainer) updateFactorRef(f []float64, side sideCtx, scratch *parallel.Scratch) float64 {
+	k := t.cfg.K
+	buf := scratch.Float64sRaw(2 * k) // gradient() and the candidate loop fully overwrite it
+	grad := buf[0:k]
+	cand := buf[k : 2*k]
+
+	var qFinal float64
 	for step := 0; step < t.cfg.GradSteps; step++ {
 		qOld := t.partialObjective(f, side)
 		t.gradient(grad, f, side)
+		qFinal = qOld
 
 		alpha := 1.0
 		accepted := false
@@ -357,6 +430,7 @@ func (t *trainer) updateFactor(f []float64, side sideCtx, scratch []float64) {
 			}
 			if qNew-qOld <= t.cfg.Sigma*dir {
 				copy(f, cand)
+				qFinal = qNew
 				accepted = true
 				break
 			}
@@ -366,16 +440,18 @@ func (t *trainer) updateFactor(f []float64, side sideCtx, scratch []float64) {
 			// No step satisfied the Armijo condition within the budget;
 			// keep the current factor (a zero step preserves descent) and
 			// stop iterating this subproblem.
-			return
+			break
 		}
 	}
+	return qFinal
 }
 
 // partialObjective evaluates the terms of Q that depend on factor f
 // (eq. 5): −Σ_+ w·log(1−e^{−z}) + ⟨f, Σ_0 g⟩ + λ‖f‖², with z the affinity
 // including any bias terms, and Σ_0 g = sum − Σ_+ g obtained from the
 // precomputed block sum (sum trick). Bias contributions to the Σ_0 part
-// are constant during a factor step and omitted.
+// are constant during a factor step and omitted. Reference kernel; the hot
+// path uses fusedObjGrad, which computes this and the gradient in one pass.
 func (t *trainer) partialObjective(f []float64, side sideCtx) float64 {
 	k := t.cfg.K
 	q := linalg.Dot(f, t.sum) + t.cfg.Lambda*linalg.Norm2Sq(f)
@@ -391,6 +467,7 @@ func (t *trainer) partialObjective(f []float64, side sideCtx) float64 {
 
 // gradient computes ∇Q(f) per eq. (6):
 // −Σ_+ w·g·e^{−z}/(1−e^{−z}) + Σ_0 g + 2λf, using the sum trick.
+// Reference kernel; see fusedObjGrad for the fused hot path.
 func (t *trainer) gradient(grad, f []float64, side sideCtx) {
 	k := t.cfg.K
 	for c := 0; c < k; c++ {
@@ -413,22 +490,28 @@ func (t *trainer) gradient(grad, f []float64, side sideCtx) {
 // with the row's factor f fixed. nZeros is the number of unknown pairs in
 // the row, whose Σ_0 term contributes b·nZeros to the objective. Returns
 // the updated bias.
-func (t *trainer) updateBias(b float64, f []float64, side sideCtx, nZeros float64) float64 {
+//
+// The inner products d_j = ⟨f, g_j⟩ do not depend on b, so they are hoisted
+// into a scratch table once; every objective and gradient evaluation of the
+// 1-D line search is then O(|pos|) exp/log work instead of O(|pos|·K).
+func (t *trainer) updateBias(b float64, f []float64, side sideCtx, nZeros float64, scratch *parallel.Scratch) float64 {
 	k := t.cfg.K
-	// Q(b) = −Σ_+ w log(1−e^{−(d_i + b + b_other)}) + b·nZeros + λb².
+	dots := scratch.Float64sRaw(len(side.pos)) // fully written below
+	for j, idx := range side.pos {
+		dots[j] = linalg.Dot(f, side.others[int(idx)*k:(int(idx)+1)*k])
+	}
+	// Q(b) = −Σ_+ w log(1−e^{−(d_j + b + b_other)}) + b·nZeros + λb².
 	obj := func(b float64) float64 {
 		q := b*nZeros + t.cfg.Lambda*b*b
-		for _, idx := range side.pos {
-			g := side.others[int(idx)*k : (int(idx)+1)*k]
-			z := linalg.Dot(f, g) + b + side.otherBias[idx]
+		for j, idx := range side.pos {
+			z := dots[j] + b + side.otherBias[idx]
 			q -= side.weight(idx) * math.Log(1-math.Exp(-clampDot(z)))
 		}
 		return q
 	}
 	grad := nZeros + 2*t.cfg.Lambda*b
-	for _, idx := range side.pos {
-		g := side.others[int(idx)*k : (int(idx)+1)*k]
-		z := clampDot(linalg.Dot(f, g) + b + side.otherBias[idx])
+	for j, idx := range side.pos {
+		z := clampDot(dots[j] + b + side.otherBias[idx])
 		e := math.Exp(-z)
 		grad -= side.weight(idx) * e / (1 - e)
 	}
@@ -445,12 +528,4 @@ func (t *trainer) updateBias(b float64, f []float64, side sideCtx, nZeros float6
 		alpha *= t.cfg.Beta
 	}
 	return b
-}
-
-// sumOther computes dst = Σ over all length-k rows of the flat array fs.
-func sumOther(dst, fs []float64, k int) {
-	linalg.Fill(dst, 0)
-	for off := 0; off < len(fs); off += k {
-		linalg.Axpy(1, fs[off:off+k], dst)
-	}
 }

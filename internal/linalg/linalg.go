@@ -14,24 +14,47 @@ import (
 )
 
 // Dot returns the inner product ⟨a, b⟩. It panics if lengths differ.
+//
+// The loop is unrolled 4-wide with independent accumulators (the OCuLaR
+// inner loops are K-stride walks through Dot, and the unrolling breaks the
+// add-latency dependency chain). The accumulators are combined in a fixed
+// order, so the result is deterministic for a given input.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("linalg: Dot length mismatch")
 	}
-	var s float64
-	for i, av := range a {
-		s += av * b[i]
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	for ; i <= n-4; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
 
-// Axpy computes y += alpha*x in place. It panics if lengths differ.
+// Axpy computes y += alpha*x in place. It panics if lengths differ. The body
+// is unrolled 4-wide; per-element results are unchanged (no reduction).
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("linalg: Axpy length mismatch")
 	}
-	for i, xv := range x {
-		y[i] += alpha * xv
+	n := len(x)
+	i := 0
+	for ; i <= n-4; i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -42,11 +65,21 @@ func Scale(alpha float64, x []float64) {
 	}
 }
 
-// Norm2Sq returns the squared Euclidean norm ‖x‖².
+// Norm2Sq returns the squared Euclidean norm ‖x‖². Unrolled 4-wide like Dot,
+// with the same fixed accumulator-combine order.
 func Norm2Sq(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	n := len(x)
+	i := 0
+	for ; i <= n-4; i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	s := (s0 + s2) + (s1 + s3)
+	for ; i < n; i++ {
+		s += x[i] * x[i]
 	}
 	return s
 }

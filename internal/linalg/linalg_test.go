@@ -19,6 +19,56 @@ func TestDot(t *testing.T) {
 	}
 }
 
+// TestUnrolledKernelsMatchNaive covers every tail length of the 4-wide
+// unrolled Dot/Axpy/Norm2Sq against the textbook single-accumulator loops.
+func TestUnrolledKernelsMatchNaive(t *testing.T) {
+	r := rng.New(31)
+	for n := 0; n <= 19; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.Float64()*4 - 2
+			b[i] = r.Float64()*4 - 2
+		}
+		var dot, nsq float64
+		for i := range a {
+			dot += a[i] * b[i]
+			nsq += a[i] * a[i]
+		}
+		if got := Dot(a, b); !almostEq(got, dot, 1e-12*(1+math.Abs(dot))) {
+			t.Fatalf("n=%d: Dot = %v, naive %v", n, got, dot)
+		}
+		if got := Norm2Sq(a); !almostEq(got, nsq, 1e-12*(1+nsq)) {
+			t.Fatalf("n=%d: Norm2Sq = %v, naive %v", n, got, nsq)
+		}
+		y := append([]float64(nil), b...)
+		Axpy(1.5, a, y)
+		for i := range y {
+			if want := b[i] + 1.5*a[i]; y[i] != want {
+				t.Fatalf("n=%d: Axpy[%d] = %v, want %v", n, i, y[i], want)
+			}
+		}
+	}
+}
+
+// TestDotDeterministic: the unrolled reduction combines its accumulators in
+// a fixed order, so repeated calls are bit-identical.
+func TestDotDeterministic(t *testing.T) {
+	r := rng.New(77)
+	a := make([]float64, 101)
+	b := make([]float64, 101)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64()
+	}
+	first := Dot(a, b)
+	for i := 0; i < 10; i++ {
+		if got := Dot(a, b); got != first {
+			t.Fatal("Dot not deterministic across calls")
+		}
+	}
+}
+
 func TestDotPanicsOnMismatch(t *testing.T) {
 	defer func() {
 		if recover() == nil {

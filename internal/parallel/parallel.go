@@ -15,6 +15,13 @@
 // For runs an index space over a worker pool with contiguous chunking
 // (coalesced access, the CPU analogue of warp-contiguous reads). Each
 // worker carries a Scratch arena so per-index updates allocate nothing.
+//
+// SumVectors and ReduceSum are the package's deterministic reductions: the
+// input is split into fixed-width blocks whose boundaries depend only on
+// the input size, blocks are summed serially, and the partials are combined
+// in block order. Results are therefore bit-identical for every worker
+// count, which lets the trainer use them on its hot path without weakening
+// the serial-equals-parallel contract above.
 package parallel
 
 import (
@@ -23,12 +30,13 @@ import (
 	"sync/atomic"
 )
 
-// Scratch is a per-worker reusable float64 arena. Get slices of it via
-// Float64s; the slice is valid until the next Float64s call with a larger
-// size. Scratch is not safe for concurrent use; For gives each worker its
-// own.
+// Scratch is a per-worker reusable arena. Get slices of it via Float64s and
+// Ints; each slice is valid until the next call of the same getter with a
+// larger size. Scratch is not safe for concurrent use; For gives each worker
+// its own.
 type Scratch struct {
-	buf []float64
+	buf  []float64
+	ints []int
 }
 
 // Float64s returns a zeroed slice of length n, reusing the arena when
@@ -42,6 +50,41 @@ func (s *Scratch) Float64s(n int) []float64 {
 		b[i] = 0
 	}
 	return b
+}
+
+// Float64sRaw is Float64s without the zeroing pass, for callers that fully
+// overwrite the slice before reading it — the training kernels' factor
+// updates, where zeroing would cost O(K + |pos|) extra writes per
+// subproblem. Contents are whatever a previous borrow left behind.
+func (s *Scratch) Float64sRaw(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+// Ints returns a zeroed []int of length n from a separate arena, with the
+// same reuse discipline as Float64s. The training kernels borrow this arena
+// through IntsRaw for the clamped/live coordinate index lists of the
+// incremental line search; Ints is the zeroed counterpart for callers that
+// read before (fully) writing.
+func (s *Scratch) Ints(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	b := s.ints[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// IntsRaw is Ints without the zeroing pass; see Float64sRaw.
+func (s *Scratch) IntsRaw(n int) []int {
+	if cap(s.ints) < n {
+		s.ints = make([]int, n)
+	}
+	return s.ints[:n]
 }
 
 // DefaultWorkers returns the worker count used when a caller passes 0:
@@ -102,58 +145,84 @@ func For(n, workers int, fn func(i int, scratch *Scratch)) {
 	wg.Wait()
 }
 
-// SumVectors computes dst = Σ_r vecs[r·k : (r+1)·k] over rows rows, the
-// parallel reduction behind the kernel constant C = Σ_u f_u. The reduction
-// tree is deterministic: each worker sums a fixed contiguous range and the
-// partials are combined in worker order, so results do not depend on
-// scheduling.
+// sumBlockRows is the fixed range width of the deterministic reductions
+// below. Block boundaries depend only on the input size — never on the
+// worker count — so every worker count produces the same summation tree
+// and therefore bit-identical results. 256 rows per block keeps scheduling
+// overhead negligible while giving enough blocks to balance load.
+const sumBlockRows = 256
+
+// SumVectors computes dst = Σ_r flat[r·k : (r+1)·k], the parallel reduction
+// behind the kernel constant C = Σ_u f_u. Rows are summed in fixed
+// 256-row blocks and the block partials are combined in block order, so the
+// result is bit-identical for every worker count (including serial) — the
+// guarantee the trainer's serial/parallel equivalence contract relies on.
 func SumVectors(dst, flat []float64, k, workers int) {
 	for i := range dst {
 		dst[i] = 0
+	}
+	if k <= 0 {
+		return
 	}
 	n := len(flat) / k
 	if n == 0 {
 		return
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for off := 0; off < len(flat); off += k {
+	nb := (n + sumBlockRows - 1) / sumBlockRows
+	if nb == 1 {
+		// One block: accumulating straight into dst follows the same
+		// addition sequence as the partial-combine path below.
+		for off := 0; off < n*k; off += k {
 			for c := 0; c < k; c++ {
 				dst[c] += flat[off+c]
 			}
 		}
 		return
 	}
-	partials := make([][]float64, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	per := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			p := make([]float64, k)
-			lo, hi := w*per, (w+1)*per
-			if hi > n {
-				hi = n
+	partials := make([]float64, nb*k)
+	For(nb, workers, func(b int, _ *Scratch) {
+		p := partials[b*k : (b+1)*k]
+		lo, hi := b*sumBlockRows, (b+1)*sumBlockRows
+		if hi > n {
+			hi = n
+		}
+		for r := lo; r < hi; r++ {
+			off := r * k
+			for c := 0; c < k; c++ {
+				p[c] += flat[off+c]
 			}
-			for r := lo; r < hi; r++ {
-				off := r * k
-				for c := 0; c < k; c++ {
-					p[c] += flat[off+c]
-				}
-			}
-			partials[w] = p
-		}(w)
-	}
-	wg.Wait()
-	for _, p := range partials {
+		}
+	})
+	for b := 0; b < nb; b++ {
+		off := b * k
 		for c := 0; c < k; c++ {
-			dst[c] += p[c]
+			dst[c] += partials[off+c]
 		}
 	}
+}
+
+// ReduceSum evaluates fn over the fixed 256-wide blocks of [0, n) in
+// parallel and returns the sum of the block results, combined in block
+// order. fn(lo, hi) must return the partial for [lo, hi) computed
+// serially; under that contract the total is bit-identical for every worker
+// count. This is the scalar counterpart of SumVectors, used by the
+// parallelized objective evaluation of the convergence check.
+func ReduceSum(n, workers int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nb := (n + sumBlockRows - 1) / sumBlockRows
+	partials := make([]float64, nb)
+	For(nb, workers, func(b int, _ *Scratch) {
+		lo, hi := b*sumBlockRows, (b+1)*sumBlockRows
+		if hi > n {
+			hi = n
+		}
+		partials[b] = fn(lo, hi)
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
 }

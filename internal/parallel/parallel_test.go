@@ -60,10 +60,11 @@ func TestScratchZeroed(t *testing.T) {
 	}
 }
 
-func TestSumVectorsMatchesSerial(t *testing.T) {
-	f := func(seed int64, kRaw, nRaw uint8) bool {
+func TestSumVectorsBitIdenticalAcrossWorkers(t *testing.T) {
+	f := func(seed int64, kRaw uint8, nRaw uint16) bool {
 		k := int(kRaw%8) + 1
-		n := int(nRaw%40) + 1
+		// Span several 256-row blocks so the partial-combine path is hit.
+		n := int(nRaw%1500) + 1
 		flat := make([]float64, n*k)
 		x := float64(seed%1000) / 7
 		for i := range flat {
@@ -72,13 +73,13 @@ func TestSumVectorsMatchesSerial(t *testing.T) {
 		}
 		want := make([]float64, k)
 		SumVectors(want, flat, k, 1)
-		for _, workers := range []int{2, 3, 5} {
+		for _, workers := range []int{2, 3, 5, 8} {
 			got := make([]float64, k)
 			SumVectors(got, flat, k, workers)
 			for c := range got {
-				// Parallel partials re-associate the additions, so agreement
-				// is up to floating-point rounding, not bit-exact.
-				if math.Abs(got[c]-want[c]) > 1e-9*(1+math.Abs(want[c])) {
+				// The fixed-block reduction makes every worker count follow
+				// the same summation tree — agreement is bit-exact.
+				if got[c] != want[c] {
 					return false
 				}
 			}
@@ -87,6 +88,107 @@ func TestSumVectorsMatchesSerial(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSumVectorsMatchesNaive(t *testing.T) {
+	k, n := 3, 700
+	flat := make([]float64, n*k)
+	for i := range flat {
+		flat[i] = float64(i%13) * 0.25
+	}
+	naive := make([]float64, k)
+	for r := 0; r < n; r++ {
+		for c := 0; c < k; c++ {
+			naive[c] += flat[r*k+c]
+		}
+	}
+	got := make([]float64, k)
+	SumVectors(got, flat, k, 4)
+	for c := range got {
+		if math.Abs(got[c]-naive[c]) > 1e-9*(1+math.Abs(naive[c])) {
+			t.Fatalf("coord %d: SumVectors %v, naive %v", c, got[c], naive[c])
+		}
+	}
+}
+
+func TestReduceSumBitIdenticalAcrossWorkers(t *testing.T) {
+	vals := make([]float64, 3000)
+	x := 0.3
+	for i := range vals {
+		x = math.Mod(x*1.7+0.19, 4)
+		vals[i] = x - 2
+	}
+	fn := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i] * vals[i]
+		}
+		return s
+	}
+	want := ReduceSum(len(vals), 1, fn)
+	for _, workers := range []int{2, 4, 7} {
+		if got := ReduceSum(len(vals), workers, fn); got != want {
+			t.Fatalf("workers=%d: ReduceSum %v != serial %v", workers, got, want)
+		}
+	}
+	naive := 0.0
+	for b := 0; b < len(vals); b += 256 {
+		hi := b + 256
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		naive += fn(b, hi)
+	}
+	if want != naive {
+		t.Fatalf("ReduceSum %v != block-order naive %v", want, naive)
+	}
+	if got := ReduceSum(0, 4, fn); got != 0 {
+		t.Fatalf("ReduceSum over empty range = %v", got)
+	}
+}
+
+func TestScratchRawVariants(t *testing.T) {
+	s := &Scratch{}
+	f := s.Float64s(4)
+	f[0], f[3] = 7, 9
+	// Raw borrows reuse the arena without zeroing: same backing memory,
+	// previous contents visible.
+	fr := s.Float64sRaw(4)
+	if fr[0] != 7 || fr[3] != 9 {
+		t.Fatal("Float64sRaw did not reuse the arena")
+	}
+	ir := s.IntsRaw(5)
+	for i := range ir {
+		ir[i] = i + 1
+	}
+	if got := s.IntsRaw(3); got[0] != 1 || got[2] != 3 {
+		t.Fatal("IntsRaw did not reuse the arena")
+	}
+	if got := s.Ints(5); got[4] != 0 {
+		t.Fatal("Ints after IntsRaw not zeroed")
+	}
+}
+
+func TestScratchInts(t *testing.T) {
+	s := &Scratch{}
+	b := s.Ints(3)
+	b[0], b[1], b[2] = 1, 2, 3
+	b2 := s.Ints(2)
+	if b2[0] != 0 || b2[1] != 0 {
+		t.Fatal("Scratch.Ints did not zero reused memory")
+	}
+	b3 := s.Ints(8)
+	for _, v := range b3 {
+		if v != 0 {
+			t.Fatal("grown int scratch not zeroed")
+		}
+	}
+	// The int and float arenas are independent.
+	f := s.Float64s(4)
+	f[0] = 9
+	if got := s.Ints(8); got[0] != 0 {
+		t.Fatal("Float64s clobbered the int arena")
 	}
 }
 

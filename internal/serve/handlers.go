@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/explain"
@@ -28,8 +29,10 @@ func (s *Server) buildMux() *http.ServeMux {
 	return mux
 }
 
-// decode reads the request body as JSON into v, enforcing the body size cap
-// and rejecting unknown fields (catching misspelled parameters early).
+// decode reads the request body as JSON into v, enforcing the body size cap,
+// rejecting unknown fields (catching misspelled parameters early), and
+// requiring the body to be exactly one JSON value: a concatenated second
+// request would otherwise be silently ignored, masking client framing bugs.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -39,6 +42,16 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
 		}
 		return fmt.Errorf("bad request body: %v", err)
+	}
+	// Only io.EOF here proves the first value consumed the whole body
+	// (trailing whitespace aside); anything else is trailing data — except
+	// a tripped size cap, which keeps its own message.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return errors.New("request body must be a single JSON value (trailing data rejected)")
 	}
 	return nil
 }

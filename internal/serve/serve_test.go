@@ -273,6 +273,13 @@ func TestErrorPaths(t *testing.T) {
 		{"explain item out of range", "/v1/explain", `{"user": 1, "item": 99999}`, 400},
 		{"batch empty", "/v1/batch", `{"users": []}`, 400},
 		{"batch over cap", "/v1/batch", `{"users": [1,2,3,4,5]}`, 400},
+		// The body must be exactly one JSON value: a concatenated second
+		// request is a client framing bug and must not be silently dropped.
+		{"trailing second value", "/v1/recommend", `{"user": 1}{"user": 2}`, 400},
+		{"trailing garbage", "/v1/recommend", `{"user": 1} trailing`, 400},
+		{"trailing array", "/v1/batch", `{"users": [1]}[2]`, 400},
+		// Trailing whitespace is part of the single value's framing and fine.
+		{"trailing whitespace ok", "/v1/recommend", "{\"user\": 1}  \n\t ", 200},
 	}
 	for _, c := range cases {
 		if got := post(c.path, c.body); got != c.want {
