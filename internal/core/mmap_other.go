@@ -1,0 +1,23 @@
+//go:build !unix
+
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap reads the whole file into
+// memory. OpenMappedModel then behaves like a copying loader with
+// header-only validation — correct everywhere, O(1) reload only on unix.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func munmapFile(data []byte) error {
+	return nil
+}

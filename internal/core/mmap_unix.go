@@ -1,0 +1,20 @@
+//go:build unix
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The mapping outlives f's file
+// descriptor, and — because the mapping pins the inode — also survives
+// the file being renamed over or unlinked, which is exactly the atomic
+// model-swap discipline of SaveModelFile.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

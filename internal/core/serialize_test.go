@@ -1,0 +1,532 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+)
+
+// trainedModel fits a small model, optionally with biases, for the
+// serialization tests.
+func trainedModel(t testing.TB, bias bool) *Model {
+	t.Helper()
+	m := smallMatrix(31, 20, 15, 90)
+	res, err := Train(m, Config{K: 5, Lambda: 1, MaxIter: 10, Seed: 7, Bias: bias})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model
+}
+
+// sameFactorBits asserts two models agree bit for bit on every float64
+// factor and bias.
+func sameFactorBits(t *testing.T, a, b *Model) {
+	t.Helper()
+	arrays := [][2][]float64{{a.fu, b.fu}, {a.fi, b.fi}, {a.bu, b.bu}, {a.bi, b.bi}}
+	for n, pair := range arrays {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("array %d: length %d vs %d", n, len(pair[0]), len(pair[1]))
+		}
+		for j := range pair[0] {
+			if pair[0][j] != pair[1][j] {
+				t.Fatalf("array %d element %d: %v vs %v (not bit-exact)", n, j, pair[0][j], pair[1][j])
+			}
+		}
+	}
+}
+
+// TestV1FallbackReader checks that legacy v1 streams and files still load
+// through ReadModel/LoadModelFile, and that a v1 → v2 re-save round-trip
+// is bit-exact on the float64 sections.
+func TestV1FallbackReader(t *testing.T) {
+	for _, bias := range []bool{false, true} {
+		orig := trainedModel(t, bias)
+
+		var v1 bytes.Buffer
+		n, err := orig.WriteToV1(&v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(v1.Len()) {
+			t.Fatalf("WriteToV1 reported %d bytes, wrote %d", n, v1.Len())
+		}
+		fromV1, err := ReadModel(bytes.NewReader(v1.Bytes()))
+		if err != nil {
+			t.Fatalf("bias=%v: v1 stream rejected: %v", bias, err)
+		}
+		sameFactorBits(t, orig, fromV1)
+
+		// A v1 file on disk loads through LoadModelFile.
+		path := filepath.Join(t.TempDir(), "v1.bin")
+		if err := os.WriteFile(path, v1.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fromFile, err := LoadModelFile(path)
+		if err != nil {
+			t.Fatalf("bias=%v: v1 file rejected: %v", bias, err)
+		}
+		sameFactorBits(t, orig, fromFile)
+
+		// v1 → v2 re-save keeps the float64 bits, with and without the
+		// float32 section.
+		for _, f32 := range []bool{false, true} {
+			var v2 bytes.Buffer
+			n, err := fromV1.WriteToV2(&v2, SaveOptions{Float32: f32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != int64(v2.Len()) {
+				t.Fatalf("WriteToV2 reported %d bytes, wrote %d", n, v2.Len())
+			}
+			fromV2, err := ReadModel(bytes.NewReader(v2.Bytes()))
+			if err != nil {
+				t.Fatalf("bias=%v f32=%v: v2 stream rejected: %v", bias, f32, err)
+			}
+			sameFactorBits(t, orig, fromV2)
+		}
+	}
+}
+
+// v2Bytes serializes m in v2 format for byte-surgery tests.
+func v2Bytes(t testing.TB, m *Model, f32 bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := m.WriteToV2(&buf, SaveOptions{Float32: f32}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadModelCorruptionBothVersions is the corruption table across both
+// format versions: bad magic, dimension overflow, truncated headers and
+// factor sections, trailing bytes, out-of-domain factors, and (v2 only)
+// tampered offset tables, flags, reserved bytes and float32 sections.
+func TestReadModelCorruptionBothVersions(t *testing.T) {
+	model := trainedModel(t, true)
+
+	var v1buf bytes.Buffer
+	if _, err := model.WriteToV1(&v1buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := v1buf.Bytes()
+	v2 := v2Bytes(t, model, true)
+	v2plain := v2Bytes(t, model, false)
+
+	mutate := func(data []byte, off int, b byte) []byte {
+		out := append([]byte(nil), data...)
+		out[off] = b
+		return out
+	}
+	le64 := func(data []byte, off int, v uint64) []byte {
+		out := append([]byte(nil), data...)
+		for i := 0; i < 8; i++ {
+			out[off+i] = byte(v >> (8 * i))
+		}
+		return out
+	}
+
+	// The first float64 of the fu section sits at the first aligned
+	// offset; 0xC0 in its top byte makes it negative.
+	fuOff := int(layoutV2(5, 20, 15, true, true).off[0])
+	// The first float32 of the fu32 section.
+	fu32Off := int(layoutV2(5, 20, 15, true, true).off[4])
+
+	cases := map[string][]byte{
+		"v1 empty":            {},
+		"v1 bad magic":        mutate(v1, 0, 'X'),
+		"v1 truncated header": v1[:20],
+		"v1 truncated body":   v1[:len(v1)-9],
+		"v1 trailing bytes":   append(append([]byte{}, v1...), 0),
+		"v1 negative factor":  mutate(v1, len(v1)-1, 0xC0),
+		"v1 implausible K":    le64(v1, 8, 1<<40),
+		"v1 dim product":      le64(le64(v1, 8, 1<<20), 16, 1<<27),
+
+		"v2 bad magic":          mutate(v2, 7, 'X'),
+		"v2 truncated header":   v2[:64],
+		"v2 truncated factors":  v2[:len(v2)-5],
+		"v2 trailing bytes":     append(append([]byte{}, v2...), 0),
+		"v2 implausible K":      le64(v2, 8, 0),
+		"v2 huge users":         le64(v2, 16, 1<<40),
+		"v2 dim product":        le64(le64(v2, 8, 1<<20), 16, 1<<27),
+		"v2 unknown flags":      le64(v2, 32, 1<<7),
+		"v2 tampered offset":    le64(v2, 40, 12345),
+		"v2 tampered file size": le64(v2, 104, uint64(len(v2))+v2Align),
+		"v2 reserved non-zero":  mutate(v2, 120, 1),
+		"v2 negative factor":    mutate(v2, fuOff+7, 0xC0),
+		"v2 NaN factor":         le64(v2, fuOff, math.Float64bits(math.NaN())),
+		"v2 Inf factor":         le64(v2, fuOff, math.Float64bits(math.Inf(1))),
+		"v2 f32 disagrees":      mutate(v2, fu32Off, v2[fu32Off]^0x01),
+
+		"v2 plain truncated": v2plain[:len(v2plain)-1],
+		"v2 plain trailing":  append(append([]byte{}, v2plain...), 0),
+	}
+	for name, data := range cases {
+		if _, err := ReadModel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+
+	// Sanity: the uncorrupted baselines load.
+	for name, data := range map[string][]byte{"v1": v1, "v2": v2, "v2 plain": v2plain} {
+		if _, err := ReadModel(bytes.NewReader(data)); err != nil {
+			t.Errorf("%s baseline rejected: %v", name, err)
+		}
+	}
+}
+
+// TestOpenMappedModel checks the O(1) open path: header-validated views,
+// scores bit-identical to the copying loader on the float64 path, the
+// documented error bound on the float32 path, the fold-in view, and the
+// v1 fallback sentinel.
+func TestOpenMappedModel(t *testing.T) {
+	for _, bias := range []bool{false, true} {
+		for _, f32 := range []bool{false, true} {
+			model := trainedModel(t, bias)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "model.bin")
+			if err := model.SaveModelFileOpts(path, SaveOptions{Float32: f32}); err != nil {
+				t.Fatal(err)
+			}
+			mm, err := OpenMappedModel(path)
+			if err != nil {
+				t.Fatalf("bias=%v f32=%v: %v", bias, f32, err)
+			}
+			if mm.HasFloat32() != f32 || mm.HasBias() != bias {
+				t.Fatalf("bias=%v f32=%v: mapped reports bias=%v f32=%v", bias, f32, mm.HasBias(), mm.HasFloat32())
+			}
+			if mm.K() != model.K() || mm.NumUsers() != model.NumUsers() || mm.NumItems() != model.NumItems() {
+				t.Fatalf("shape mismatch: %v vs %v", mm, model)
+			}
+			sameFactorBits(t, model, mm.Model())
+
+			bound := linalg.ScoreErrorBoundF32(model.K())
+			want := make([]float64, model.NumItems())
+			got := make([]float64, model.NumItems())
+			for u := 0; u < model.NumUsers(); u++ {
+				model.ScoreUser(u, want)
+				mm.ScoreUser(u, got)
+				for i := range want {
+					if f32 {
+						if d := math.Abs(got[i] - want[i]); d > bound {
+							t.Fatalf("u=%d i=%d: f32 score off by %g (bound %g)", u, i, d, bound)
+						}
+					} else if got[i] != want[i] {
+						t.Fatalf("u=%d i=%d: mapped f64 score %v != %v", u, i, got[i], want[i])
+					}
+				}
+			}
+
+			// ScoreWithFactor (the fold-in path) is always exact.
+			model.ScoreWithFactor(model.UserFactor(3), model.UserBias(3), want)
+			mm.ScoreWithFactor(model.UserFactor(3), model.UserBias(3), got)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("ScoreWithFactor i=%d: %v != %v", i, got[i], want[i])
+				}
+			}
+
+			if err := mm.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := mm.Close(); err != nil { // idempotent
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A v1 file must yield the legacy sentinel so callers can fall back.
+	model := trainedModel(t, false)
+	var v1 bytes.Buffer
+	if _, err := model.WriteToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	v1path := filepath.Join(t.TempDir(), "v1.bin")
+	if err := os.WriteFile(v1path, v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMappedModel(v1path); err == nil {
+		t.Fatal("OpenMappedModel accepted a v1 file")
+	} else if !errors.Is(err, ErrLegacyFormat) {
+		t.Fatalf("v1 file error does not wrap ErrLegacyFormat: %v", err)
+	}
+}
+
+// TestOpenMappedModelRejectsCorruption tampers with the on-disk header:
+// the O(1) open must reject everything the streaming reader rejects at
+// the header level, plus size mismatches, without scanning factors.
+func TestOpenMappedModelRejectsCorruption(t *testing.T) {
+	model := trainedModel(t, true)
+	good := v2Bytes(t, model, true)
+	dir := t.TempDir()
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenMappedModel(path); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+	mutate := func(off int, b byte) []byte {
+		out := append([]byte(nil), good...)
+		out[off] = b
+		return out
+	}
+	check("too-small", good[:100])
+	check("bad-magic", mutate(7, 'X'))
+	check("bad-flags", mutate(32, 0x80))
+	check("bad-offset", mutate(40, 1))
+	check("truncated", good[:len(good)-1])
+	check("trailing", append(append([]byte(nil), good...), 0))
+	check("reserved", mutate(120, 1))
+
+	// The pristine file opens.
+	path := filepath.Join(dir, "good")
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := OpenMappedModel(path)
+	if err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	mm.Close()
+}
+
+// TestFloat32ScoreBound checks the documented quantization bound
+// linalg.ScoreErrorBoundF32 on a Fig 7-scale fixture: every float32-path
+// score is within the bound of the float64 score.
+func TestFloat32ScoreBound(t *testing.T) {
+	d := dataset.SyntheticNetflix(1, 0.05)
+	res, err := Train(d.R, Config{K: 10, Lambda: 5, MaxIter: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := res.Model
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.SaveModelFileOpts(path, SaveOptions{Float32: true}); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := OpenMappedModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mm.Close()
+	if !mm.HasFloat32() {
+		t.Fatal("float32 section missing")
+	}
+	want := make([]float64, model.NumItems())
+	got := make([]float64, model.NumItems())
+	maxErr := 0.0
+	for u := 0; u < model.NumUsers(); u += 7 {
+		model.ScoreUser(u, want)
+		mm.ScoreUser(u, got)
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	bound := linalg.ScoreErrorBoundF32(model.K())
+	if maxErr > bound {
+		t.Fatalf("float32 score error %g exceeds the documented bound %g", maxErr, bound)
+	}
+	t.Logf("max float32 score error: %g (documented bound %g)", maxErr, bound)
+}
+
+// TestSaveModelFileAtomicity exercises the temp-file discipline: a failed
+// rename leaves no .tmp litter and no clobbered target, and overwriting
+// an existing model file works.
+func TestSaveModelFileAtomicity(t *testing.T) {
+	model := trainedModel(t, false)
+	dir := t.TempDir()
+
+	// Overwrite: second save over the same path succeeds and loads.
+	path := filepath.Join(dir, "model.bin")
+	if err := model.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveModelFileOpts(path, SaveOptions{Float32: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failed rename: the target is a non-empty directory, so the rename
+	// must fail — and the temporary file must be cleaned up.
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.MkdirAll(filepath.Join(blocked, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveModelFile(blocked); err == nil {
+		t.Fatal("SaveModelFile over a non-empty directory succeeded")
+	}
+	if _, err := os.Stat(blocked + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind after failed save: %v", err)
+	}
+
+	// Unwritable destination directory errors cleanly.
+	if err := model.SaveModelFile(filepath.Join(dir, "no", "such", "dir", "m.bin")); err == nil {
+		t.Fatal("SaveModelFile into a missing directory succeeded")
+	}
+}
+
+// TestSaveModelFileSyncsDir asserts the durability contract: a
+// successful save fsyncs the parent directory exactly once (after the
+// rename — a crash later must not roll the rename back), and a failing
+// directory sync is reported instead of swallowed.
+func TestSaveModelFileSyncsDir(t *testing.T) {
+	model := trainedModel(t, false)
+	dir := t.TempDir()
+	orig := fsyncDir
+	defer func() { fsyncDir = orig }()
+
+	var synced []string
+	fsyncDir = func(d string) error {
+		synced = append(synced, d)
+		return orig(d)
+	}
+	path := filepath.Join(dir, "model.bin")
+	if err := model.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("directory syncs after save: %v, want exactly [%s]", synced, dir)
+	}
+
+	// A failed save (rename never happens) must not sync the directory.
+	synced = nil
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.MkdirAll(filepath.Join(blocked, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveModelFile(blocked); err == nil {
+		t.Fatal("save over a non-empty directory succeeded")
+	}
+	if len(synced) != 0 {
+		t.Errorf("failed save synced the directory: %v", synced)
+	}
+
+	// A failing directory sync surfaces as a save error.
+	fsyncDir = func(string) error { return errors.New("fsync: injected failure") }
+	if err := model.SaveModelFile(filepath.Join(dir, "other.bin")); err == nil {
+		t.Error("SaveModelFile swallowed a directory sync failure")
+	}
+}
+
+// BenchmarkScoreUserF32 compares the serving score loop across the three
+// storage paths: heap float64 model, mapped float64 section, and mapped
+// float32 section (the half-bandwidth path).
+func BenchmarkScoreUserF32(b *testing.B) {
+	d := dataset.SyntheticNetflix(1, 0.05)
+	res, err := Train(d.R, Config{K: 50, Lambda: 5, MaxIter: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := res.Model
+	dir := b.TempDir()
+	open := func(f32 bool) *MappedModel {
+		path := filepath.Join(dir, "model.bin")
+		if err := model.SaveModelFileOpts(path, SaveOptions{Float32: f32}); err != nil {
+			b.Fatal(err)
+		}
+		mm, err := OpenMappedModel(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mm
+	}
+	dst := make([]float64, model.NumItems())
+	b.Run("heap64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			model.ScoreUser(i%model.NumUsers(), dst)
+		}
+	})
+	b.Run("mmap64", func(b *testing.B) {
+		mm := open(false)
+		defer mm.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mm.ScoreUser(i%model.NumUsers(), dst)
+		}
+	})
+	b.Run("mmap32", func(b *testing.B) {
+		mm := open(true)
+		defer mm.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mm.ScoreUser(i%model.NumUsers(), dst)
+		}
+	})
+}
+
+// TestOpenMappedModelTinyV1Fallback: a legacy v1 file smaller than the v2
+// header must still yield ErrLegacyFormat (not a size error), so serve's
+// fallback to the copying loader keeps working for tiny models.
+func TestOpenMappedModelTinyV1Fallback(t *testing.T) {
+	tiny := &Model{k: 1, users: 2, items: 2, fu: []float64{0.1, 0.2}, fi: []float64{0.3, 0.4}}
+	var buf bytes.Buffer
+	if _, err := tiny.WriteToV1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= v2HeaderSize {
+		t.Fatalf("fixture not tiny: %d bytes", buf.Len())
+	}
+	path := filepath.Join(t.TempDir(), "tiny-v1.bin")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMappedModel(path); !errors.Is(err, ErrLegacyFormat) {
+		t.Fatalf("tiny v1 file: got %v, want ErrLegacyFormat", err)
+	}
+	if _, err := LoadModelFile(path); err != nil {
+		t.Fatalf("tiny v1 file must load through the copying reader: %v", err)
+	}
+}
+
+// TestMappedModelVerify: Verify runs the factor-domain and float32
+// agreement scan the O(1) open skips, catching section corruption the
+// header cannot see.
+func TestMappedModelVerify(t *testing.T) {
+	model := trainedModel(t, true)
+	good := v2Bytes(t, model, true)
+	dir := t.TempDir()
+	l := layoutV2(5, 20, 15, true, true)
+
+	open := func(name string, data []byte) *MappedModel {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mm, err := OpenMappedModel(path)
+		if err != nil {
+			t.Fatalf("%s: header-only open rejected: %v", name, err)
+		}
+		t.Cleanup(func() { mm.Close() })
+		return mm
+	}
+	if err := open("good", good).Verify(); err != nil {
+		t.Errorf("pristine model failed Verify: %v", err)
+	}
+
+	negative := append([]byte(nil), good...)
+	negative[int(l.off[0])+7] = 0xC0 // flip the first fu factor negative
+	if err := open("negative", negative).Verify(); err == nil {
+		t.Error("Verify accepted a negative factor")
+	}
+
+	disagree := append([]byte(nil), good...)
+	disagree[int(l.off[4])] ^= 0x01 // perturb the first fu32 value
+	if err := open("disagree", disagree).Verify(); err == nil {
+		t.Error("Verify accepted a float32 section disagreeing with float64")
+	}
+}

@@ -1,0 +1,82 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomF32Pair(n int, seed uint64) (a32, b32 []float32, a64, b64 []float64) {
+	rnd := rng.New(seed)
+	a64 = make([]float64, n)
+	b64 = make([]float64, n)
+	a32 = make([]float32, n)
+	b32 = make([]float32, n)
+	for i := 0; i < n; i++ {
+		a64[i] = rnd.Float64() * 3
+		b64[i] = rnd.Float64() * 3
+		a32[i] = float32(a64[i])
+		b32[i] = float32(b64[i])
+	}
+	return
+}
+
+// TestDotF32MatchesFloat64 checks DotF32 against the unquantized float64
+// dot under the documented relative bound, across lengths covering every
+// unroll tail.
+func TestDotF32MatchesFloat64(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 17, 100, 1001} {
+		a32, b32, a64, b64 := randomF32Pair(n, uint64(n)+1)
+		got := DotF32(a32, b32)
+		exact := Dot(a64, b64)
+		// |z̃ − z| ≤ (⌈n/4⌉ + 3)·u·z for non-negative operands.
+		bound := (math.Ceil(float64(n)/4) + 3) * 0x1p-24 * exact
+		if d := math.Abs(got - exact); d > bound {
+			t.Errorf("n=%d: |DotF32-exact| = %g exceeds bound %g", n, d, bound)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DotF32 length mismatch did not panic")
+		}
+	}()
+	DotF32(make([]float32, 3), make([]float32, 4))
+}
+
+// TestScoreF32 checks the fused score loop against a scalar float64
+// reference, with and without item biases, under ScoreErrorBoundF32.
+func TestScoreF32(t *testing.T) {
+	const k, items = 7, 23
+	fu32, _, fu64, _ := randomF32Pair(k, 11)
+	fi32, _, fi64, _ := randomF32Pair(k*items, 12)
+	bi32, _, bi64, _ := randomF32Pair(items, 13)
+	userBias := 0.125 // exactly representable: isolates the factor error
+
+	bound := ScoreErrorBoundF32(k)
+	for _, withBias := range []bool{false, true} {
+		dst := make([]float64, items)
+		var bi []float32
+		if withBias {
+			bi = bi32
+		}
+		ScoreF32(dst, fu32, fi32, bi, userBias)
+		for i := 0; i < items; i++ {
+			z := Dot(fu64, fi64[i*k:(i+1)*k]) + userBias
+			if withBias {
+				z += bi64[i]
+			}
+			want := 1 - math.Exp(-z)
+			if d := math.Abs(dst[i] - want); d > bound {
+				t.Errorf("bias=%v item %d: score %v vs %v (off %g, bound %g)", withBias, i, dst[i], want, d, bound)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("ScoreF32 shape mismatch did not panic")
+		}
+	}()
+	ScoreF32(make([]float64, 2), fu32, fi32, nil, 0)
+}

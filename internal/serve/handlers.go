@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 
 	"repro/internal/explain"
 	"repro/internal/parallel"
@@ -57,7 +58,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 // clampM applies the default and ceiling to a requested list length.
+// Construction (newServer) guarantees MaxM >= 1; the guard below keeps a
+// future misconfiguration from silently serving empty lists with HTTP 200.
 func (s *Server) clampM(m int) (int, error) {
+	if s.cfg.MaxM <= 0 {
+		return 0, fmt.Errorf("server misconfigured: MaxM=%d", s.cfg.MaxM)
+	}
 	switch {
 	case m == 0:
 		if s.cfg.MaxM < 10 {
@@ -158,10 +164,35 @@ type foldRec struct {
 }
 
 func (f foldRec) ScoreUser(_ int, dst []float64) {
-	f.sn.model.ScoreWithFactor(f.factor, f.bias, dst)
+	f.sn.scorer.ScoreWithFactor(f.factor, f.bias, dst)
 }
 func (f foldRec) NumUsers() int { return 1 }
 func (f foldRec) NumItems() int { return f.sn.model.NumItems() }
+
+// canonicalHistory validates and canonicalizes a fold-in item history:
+// out-of-range items are rejected up front (before any solver work), and
+// the result is sorted and duplicate-free. Canonicalizing makes the
+// response independent of the client's item order and multiplicity — the
+// fold-in solver sums float contributions in history order, so two
+// orderings of the same set would otherwise return factors differing in
+// their low bits — and gives the exclusion walk of rankTopM its sorted,
+// deduplicated row directly.
+func canonicalHistory(items []int, numItems int) ([]int, error) {
+	hist := make([]int, len(items))
+	copy(hist, items)
+	sort.Ints(hist)
+	uniq := hist[:0]
+	for _, i := range hist {
+		if i < 0 || i >= numItems {
+			return nil, fmt.Errorf("item %d out of range (%d items)", i, numItems)
+		}
+		if len(uniq) > 0 && uniq[len(uniq)-1] == i {
+			continue
+		}
+		uniq = append(uniq, i)
+	}
+	return uniq, nil
+}
 
 func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) int {
 	var req FoldInRequest
@@ -176,15 +207,18 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, "items must be a non-empty item history")
 	}
 	sn := s.snap.Load()
-	// FoldInUser validates the item range itself; its error maps to 400.
-	factor, bias, err := sn.model.FoldInUser(req.Items, s.cfg.FoldIn)
+	history, err := canonicalHistory(req.Items, sn.model.NumItems())
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	factor, bias, err := sn.model.FoldInUser(history, s.cfg.FoldIn)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	// Exclude the history via a one-row matrix, reusing TopM's sorted-row
 	// exclusion walk.
 	hb := sparse.NewBuilder(1, sn.model.NumItems())
-	for _, i := range req.Items {
+	for _, i := range history {
 		hb.Add(0, i)
 	}
 	items, scores := sn.rankTopM(foldRec{sn: sn, factor: factor, bias: bias}, hb.Build(), 0, m)
@@ -335,6 +369,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 		"model":         sn.model.String(),
 		"model_version": sn.version,
 		"loaded_at":     sn.loadedAt.UTC().Format("2006-01-02T15:04:05Z07:00"),
+		"mapped":        sn.mapped != nil,
+		"float32":       sn.mapped != nil && sn.mapped.HasFloat32(),
 	})
 }
 

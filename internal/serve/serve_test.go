@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/explain"
+	"repro/internal/linalg"
 	"repro/internal/sparse"
 )
 
@@ -426,13 +428,16 @@ func TestConcurrentLoadWithReloads(t *testing.T) {
 			}
 		}(g)
 	}
+	// Trained before the goroutine starts: t.Fatal (via trainSmall) must
+	// not run on a non-test goroutine.
+	alt2 := trainSmall(t, train, 3)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for n := 0; n < reloads; n++ {
 			m := alt
 			if n%2 == 1 {
-				m = trainSmall(t, train, 3)
+				m = alt2
 			}
 			if err := srv.Reload(m); err != nil {
 				errc <- err
@@ -555,5 +560,268 @@ func TestServerRejectsShapeMismatch(t *testing.T) {
 	}
 	if err := srv.ReloadFromFile(); err == nil {
 		t.Error("ReloadFromFile without ModelPath did not error")
+	}
+}
+
+// TestNewRejectsBadConfig: every limit is validated at construction, so a
+// misconfigured server fails fast instead of silently serving empty lists
+// (MaxM), rejecting all batches (MaxBatch), or panicking under load.
+func TestNewRejectsBadConfig(t *testing.T) {
+	train := dataset.SyntheticSmall(1).Dataset.R
+	model := trainSmall(t, train, 3)
+	cases := map[string]Config{
+		"negative MaxM":         {MaxM: -1},
+		"negative MaxBatch":     {MaxBatch: -5},
+		"negative MaxBodyBytes": {MaxBodyBytes: -1},
+		"negative Workers":      {Workers: -2},
+		"negative CacheShards":  {CacheShards: -1},
+	}
+	for name, cfg := range cases {
+		if _, err := New(model, cfg); err == nil {
+			t.Errorf("%s: New accepted the config", name)
+		}
+	}
+}
+
+// TestFoldInCanonicalizesHistory: the fold-in response must depend only on
+// the *set* of history items, not on their order or multiplicity. The
+// solver sums float contributions in history order, so without
+// canonicalization a reversed or duplicated history returns a factor
+// differing in its low bits.
+func TestFoldInCanonicalizesHistory(t *testing.T) {
+	_, ts, _, train := newTestServer(t, Config{})
+	history := []int{}
+	for _, i := range train.Row(17) {
+		history = append(history, int(i))
+	}
+	if len(history) < 2 {
+		t.Fatal("user 17 has too few training positives for an order test")
+	}
+	// Reversed, with every item duplicated and one triplicated.
+	messy := []int{history[0]}
+	for n := len(history) - 1; n >= 0; n-- {
+		messy = append(messy, history[n], history[n])
+	}
+	var canonical, fromMessy FoldInResponse
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: history, M: 10}, &canonical); st != 200 {
+		t.Fatalf("canonical request: status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: messy, M: 10}, &fromMessy); st != 200 {
+		t.Fatalf("messy request: status %d", st)
+	}
+	for c := range canonical.Factor {
+		if canonical.Factor[c] != fromMessy.Factor[c] {
+			t.Errorf("factor[%d]: %v (sorted unique) vs %v (reversed+duplicated)",
+				c, canonical.Factor[c], fromMessy.Factor[c])
+		}
+	}
+	if canonical.Bias != fromMessy.Bias {
+		t.Errorf("bias: %v vs %v", canonical.Bias, fromMessy.Bias)
+	}
+	if fmt.Sprint(canonical.Items) != fmt.Sprint(fromMessy.Items) {
+		t.Errorf("rankings differ:\n%v\n%v", canonical.Items, fromMessy.Items)
+	}
+	// History items are never recommended back, duplicates or not.
+	hist := make(map[int]bool)
+	for _, i := range history {
+		hist[i] = true
+	}
+	for _, it := range fromMessy.Items {
+		if hist[it.Item] {
+			t.Errorf("history item %d recommended back", it.Item)
+		}
+	}
+	// Out-of-range items are rejected before any solver work.
+	for _, bad := range [][]int{{-1}, {1 << 30}, {0, -7, 3}} {
+		if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: bad, M: 5}, nil); st != 400 {
+			t.Errorf("history %v: status %d, want 400", bad, st)
+		}
+	}
+}
+
+// TestServeMapped asserts the serving stack actually runs on the mmap
+// path for a v2 file (the default save format), and that the float32
+// variant serves scores within the documented quantization bound.
+func TestServeMapped(t *testing.T) {
+	srv, _, _, _ := newTestServer(t, Config{})
+	if mapped, f32 := srv.ServingMode(); !mapped || f32 {
+		t.Errorf("default v2 file: mapped=%v float32=%v, want mapped=true float32=false", mapped, f32)
+	}
+
+	// Save with the float32 section and serve from it.
+	train := dataset.SyntheticSmall(1).Dataset.R
+	model := trainSmall(t, train, 3)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := model.SaveModelFileOpts(path, core.SaveOptions{Float32: true}); err != nil {
+		t.Fatal(err)
+	}
+	srv32, err := NewFromFile(Config{ModelPath: path, Train: train, FoldIn: foldInCfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped, f32 := srv32.ServingMode(); !mapped || !f32 {
+		t.Fatalf("f32 v2 file: mapped=%v float32=%v, want both true", mapped, f32)
+	}
+	ts := httptest.NewServer(srv32.Handler())
+	defer ts.Close()
+	var got RecommendResponse
+	if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: 7, M: 10}, &got); st != 200 {
+		t.Fatalf("status %d", st)
+	}
+	if len(got.Items) != 10 {
+		t.Fatalf("got %d items, want 10", len(got.Items))
+	}
+	bound := linalg.ScoreErrorBoundF32(model.K())
+	for _, it := range got.Items {
+		want := model.Predict(7, it.Item)
+		if d := math.Abs(it.Score - want); d > bound {
+			t.Errorf("item %d: f32 score %v vs f64 %v (off by %g, bound %g)", it.Item, it.Score, want, d, bound)
+		}
+	}
+	// healthz reports the serving mode.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Mapped  bool `json:"mapped"`
+		Float32 bool `json:"float32"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.Mapped || !health.Float32 {
+		t.Errorf("healthz mapped=%v float32=%v, want both true", health.Mapped, health.Float32)
+	}
+	// Fold-in stays bit-exact on the float64 sections even with f32 scoring.
+	history := []int{}
+	for _, i := range train.Row(17) {
+		history = append(history, int(i))
+	}
+	var fr FoldInResponse
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: history, M: 5}, &fr); st != 200 {
+		t.Fatalf("foldin status %d", st)
+	}
+	factor, bias, err := model.FoldInUser(history, foldInCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range factor {
+		if fr.Factor[c] != factor[c] {
+			t.Errorf("foldin factor[%d] = %v, want %v (must be exact)", c, fr.Factor[c], factor[c])
+		}
+	}
+	if fr.Bias != bias {
+		t.Errorf("foldin bias = %v, want %v", fr.Bias, bias)
+	}
+}
+
+// TestConcurrentFileReloadsV2 hammers /v1/recommend and /v1/batch while
+// v2 model files (alternating float32 section on/off) are re-saved and
+// re-mmapped underneath. Every request must succeed against a consistent
+// snapshot; old mappings must stay valid for requests pinned to them.
+// Run with -race.
+func TestConcurrentFileReloadsV2(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{CacheSize: 256})
+	alt := trainSmall(t, train, 99)
+
+	const (
+		readers         = 8
+		requestsPerGoro = 30
+		reloads         = 15
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers*requestsPerGoro+reloads)
+	client := ts.Client()
+	do := func(path, body string) {
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			errc <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			errc <- fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < requestsPerGoro; n++ {
+				u := (g*31 + n) % 120
+				if n%2 == 0 {
+					do("/v1/recommend", fmt.Sprintf(`{"user": %d, "m": 10}`, u))
+				} else {
+					do("/v1/batch", fmt.Sprintf(`{"users": [%d, %d], "m": 5}`, u, (u+1)%120))
+				}
+			}
+		}(g)
+	}
+	// Both models are trained before the goroutines start: t.Fatal (via
+	// trainSmall) must not run on a non-test goroutine.
+	alt2 := trainSmall(t, train, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < reloads; n++ {
+			m := alt
+			if n%2 == 1 {
+				m = alt2
+			}
+			if err := m.SaveModelFileOpts(srv.cfg.ModelPath, core.SaveOptions{Float32: n%2 == 0}); err != nil {
+				errc <- err
+				return
+			}
+			if err := srv.ReloadFromFile(); err != nil {
+				errc <- err
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if mapped, _ := srv.ServingMode(); !mapped {
+		t.Error("server not on the mmap path after file reloads")
+	}
+}
+
+// BenchmarkReload measures ReloadFromFile across model scales. The v2
+// mmap path re-maps and validates only the 128-byte header, so ns/op must
+// stay flat as the model grows ~50x — compare the sub-benchmarks.
+func BenchmarkReload(b *testing.B) {
+	for _, bench := range []struct {
+		name  string
+		train *sparse.Matrix
+		k     int
+	}{
+		{"small", dataset.SyntheticSmall(1).Dataset.R, 8},
+		{"large", dataset.SyntheticNetflix(1, 0.25).R, 32},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			res, err := core.Train(bench.train, core.Config{K: bench.k, Lambda: 2, MaxIter: 1, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(b.TempDir(), "model.bin")
+			if err := res.Model.SaveModelFileOpts(path, core.SaveOptions{Float32: true}); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := NewFromFile(Config{ModelPath: path, Train: bench.train})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Model.NumUsers()*res.Model.K()+res.Model.NumItems()*res.Model.K()), "factors")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := srv.ReloadFromFile(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -14,6 +14,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -77,9 +78,19 @@ func (c Config) withDefaults() Config {
 // snapshot is one immutable serving state: a model, its exclusion matrix,
 // its top-M cache and its score-buffer pool. Handlers load the snapshot
 // pointer once per request, so a concurrent reload never mixes state.
+//
+// For models served from an mmapped v2 file, the snapshot pins the
+// mapping: mapped (and the model view sharing its storage) stays
+// reachable exactly as long as the snapshot does, so the mapping of a
+// replaced model is released by GC only after the last in-flight request
+// against that snapshot finishes. The server never munmaps eagerly.
 type snapshot struct {
-	model    *core.Model
-	train    *sparse.Matrix // never nil; empty matrix when no exclusions
+	model *core.Model // full precision; fold-in, explanations, health
+	// scorer is the hot-path scorer: the mapped model when serving from
+	// an mmap (float32 section when present), otherwise model itself.
+	scorer   core.Scorer
+	mapped   *core.MappedModel // non-nil when serving straight from an mmap
+	train    *sparse.Matrix    // never nil; empty matrix when no exclusions
 	version  uint64
 	loadedAt time.Time
 	cache    *topCache
@@ -115,9 +126,14 @@ type Server struct {
 // New builds a Server serving model. The model must match cfg.Train's
 // shape when an exclusion matrix is configured.
 func New(model *core.Model, cfg Config) (*Server, error) {
+	return newServer(model, nil, cfg)
+}
+
+func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server, error) {
 	// Negative CacheSize means "disable", but a negative limit would
-	// silently brick an endpoint (every request rejected or empty), so
-	// those are configuration errors.
+	// silently brick an endpoint (every request rejected, empty, or
+	// serial), so those are configuration errors — caught here, once,
+	// rather than surfacing as empty 200s or panics under load.
 	switch {
 	case cfg.MaxM < 0:
 		return nil, fmt.Errorf("serve: MaxM must be >= 0, got %d", cfg.MaxM)
@@ -125,10 +141,20 @@ func New(model *core.Model, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
 	case cfg.MaxBodyBytes < 0:
 		return nil, fmt.Errorf("serve: MaxBodyBytes must be >= 0, got %d", cfg.MaxBodyBytes)
+	case cfg.Workers < 0:
+		return nil, fmt.Errorf("serve: Workers must be >= 0, got %d", cfg.Workers)
+	case cfg.CacheShards < 0:
+		return nil, fmt.Errorf("serve: CacheShards must be >= 0, got %d", cfg.CacheShards)
 	}
 	cfg = cfg.withDefaults()
+	// withDefaults must leave every limit usable; a zero that slipped
+	// through would serve empty lists with HTTP 200 (see clampM).
+	if cfg.MaxM <= 0 || cfg.MaxBatch <= 0 || cfg.MaxBodyBytes <= 0 {
+		return nil, fmt.Errorf("serve: internal error: limits not defaulted (MaxM=%d MaxBatch=%d MaxBodyBytes=%d)",
+			cfg.MaxM, cfg.MaxBatch, cfg.MaxBodyBytes)
+	}
 	s := &Server{cfg: cfg, metrics: newMetrics(endpointNames)}
-	if err := s.install(model); err != nil {
+	if err := s.install(model, mapped); err != nil {
 		return nil, err
 	}
 	s.mux = s.buildMux()
@@ -136,20 +162,38 @@ func New(model *core.Model, cfg Config) (*Server, error) {
 }
 
 // NewFromFile builds a Server from the serialized model at cfg.ModelPath.
+// A v2 model file is mmapped and served in place (float32 scoring when
+// the file carries that section); a v1 file falls back to the copying
+// loader.
 func NewFromFile(cfg Config) (*Server, error) {
 	if cfg.ModelPath == "" {
 		return nil, fmt.Errorf("serve: NewFromFile needs Config.ModelPath")
 	}
-	model, err := core.LoadModelFile(cfg.ModelPath)
+	model, mapped, err := openModelFile(cfg.ModelPath)
 	if err != nil {
 		return nil, err
 	}
-	return New(model, cfg)
+	return newServer(model, mapped, cfg)
+}
+
+// openModelFile maps a v2 model file in O(1), falling back to the
+// copying, fully-validating reader for legacy v1 files. For mapped
+// models it returns both the zero-copy float64 view and the mapping.
+func openModelFile(path string) (*core.Model, *core.MappedModel, error) {
+	mapped, err := core.OpenMappedModel(path)
+	if err == nil {
+		return mapped.Model(), mapped, nil
+	}
+	if errors.Is(err, core.ErrLegacyFormat) {
+		model, err := core.LoadModelFile(path)
+		return model, nil, err
+	}
+	return nil, nil, err
 }
 
 // install validates model against the configuration and atomically swaps
 // in a fresh snapshot (new cache, new buffer pool, bumped version).
-func (s *Server) install(model *core.Model) error {
+func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 	if model == nil {
 		return fmt.Errorf("serve: nil model")
 	}
@@ -162,8 +206,14 @@ func (s *Server) install(model *core.Model) error {
 	} else {
 		train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
 	}
+	scorer := core.Scorer(model)
+	if mapped != nil {
+		scorer = mapped
+	}
 	sn := &snapshot{
 		model:    model,
+		scorer:   scorer,
+		mapped:   mapped,
 		train:    train,
 		version:  s.version.Add(1),
 		loadedAt: time.Now(),
@@ -179,11 +229,11 @@ func (s *Server) install(model *core.Model) error {
 func (s *Server) Reload(model *core.Model) error {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	return s.reloadLocked(model)
+	return s.reloadLocked(model, nil)
 }
 
-func (s *Server) reloadLocked(model *core.Model) error {
-	if err := s.install(model); err != nil {
+func (s *Server) reloadLocked(model *core.Model, mapped *core.MappedModel) error {
+	if err := s.install(model, mapped); err != nil {
 		return err
 	}
 	s.metrics.reloads.Add(1)
@@ -192,23 +242,37 @@ func (s *Server) reloadLocked(model *core.Model) error {
 
 // ReloadFromFile re-reads Config.ModelPath and installs the result — the
 // handler behind POST /v1/reload and the SIGHUP path of cmd/ocular-serve.
-// The file read happens under the reload lock so concurrent reloads cannot
-// install their models out of read order.
+// For a v2 file this is O(1) regardless of model size: re-mmap, validate
+// the 128-byte header, swap the snapshot pointer. No factor byte is
+// copied or scanned; the old mapping is released by GC once the last
+// request pinned to the old snapshot finishes. The file open happens
+// under the reload lock so concurrent reloads cannot install their models
+// out of read order.
 func (s *Server) ReloadFromFile() error {
 	if s.cfg.ModelPath == "" {
 		return fmt.Errorf("serve: no ModelPath configured for reload")
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	model, err := core.LoadModelFile(s.cfg.ModelPath)
+	model, mapped, err := openModelFile(s.cfg.ModelPath)
 	if err != nil {
 		return err
 	}
-	return s.reloadLocked(model)
+	return s.reloadLocked(model, mapped)
 }
 
-// Model returns the currently served model.
+// Model returns the currently served model (for mapped models, the
+// zero-copy full-precision view). The view stays valid while the server
+// lives; callers must not retain it across process teardown of the
+// server.
 func (s *Server) Model() *core.Model { return s.snap.Load().model }
+
+// ServingMode reports whether the current snapshot serves out of an
+// mmapped v2 file, and whether it scores through the float32 section.
+func (s *Server) ServingMode() (mapped, float32Scoring bool) {
+	sn := s.snap.Load()
+	return sn.mapped != nil, sn.mapped != nil && sn.mapped.HasFloat32()
+}
 
 // Version returns the current snapshot version (1 for the initial model,
 // incremented by every reload).
@@ -243,7 +307,7 @@ func (s *Server) topM(sn *snapshot, u, m int) (items []int, scores []float64, ca
 		return items, scores, true
 	}
 	s.metrics.cacheMisses.Add(1)
-	items, scores = sn.rankTopM(sn.model, sn.train, u, m)
+	items, scores = sn.rankTopM(sn.scorer, sn.train, u, m)
 	sn.cache.put(key, items, scores)
 	return items, scores, false
 }

@@ -164,8 +164,26 @@ func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
 
 // LoadModelFile reads a model saved with Model.SaveModelFile (or WriteTo) —
 // the loading half of the train-once/serve-many lifecycle that
-// cmd/ocular-serve is built on.
+// cmd/ocular-serve is built on. It copies and validates every byte; use
+// OpenMappedModel to serve a v2 file in place.
 func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path) }
+
+// SaveOptions configures the v2 model writer (Model.SaveModelFileOpts):
+// set Float32 to append a quantized factor copy that serving scores at
+// half the memory traffic.
+type SaveOptions = core.SaveOptions
+
+// MappedModel is a model served directly out of an mmapped v2 file —
+// O(1) open and reload, zero-copy factors, optional float32 scoring.
+type MappedModel = core.MappedModel
+
+// Scorer is the scoring surface shared by *Model and *MappedModel.
+type Scorer = core.Scorer
+
+// OpenMappedModel maps the v2 model file at path in O(1). A legacy v1
+// file yields an error wrapping core.ErrLegacyFormat; load those with
+// LoadModelFile.
+func OpenMappedModel(path string) (*MappedModel, error) { return core.OpenMappedModel(path) }
 
 // --- Evaluation -----------------------------------------------------------
 
