@@ -15,6 +15,13 @@
 //	GET  /healthz                                  liveness + model version
 //	GET  /metrics                                  request counts, latencies, cache stats
 //
+// recommend, batch and foldin additionally accept "exclude_items" (a
+// per-request do-not-recommend list) and, when -items-meta supplies an
+// item name/tag table, "filter": {"allow_tags": [...], "deny_tags": [...]}.
+// Filtered requests are cached like unfiltered ones — the cache key
+// fingerprints the filter set — and duplicate concurrent misses are
+// coalesced into one ranking computation.
+//
 // The training matrix (-data or -preset, same flags as cmd/ocular) supplies
 // the per-user exclusion lists: items a user already has are never
 // recommended back. Without it every item is a candidate for every user.
@@ -45,6 +52,7 @@ import (
 	ocular "repro"
 
 	"repro/internal/cliutil"
+	"repro/internal/rank"
 	"repro/internal/serve"
 )
 
@@ -61,12 +69,16 @@ func main() {
 		preset    = flag.String("preset", "", "synthetic preset used at training time (exclusions)")
 		seed      = flag.Uint64("seed", 1, "preset generation seed (must match training)")
 
-		cacheSize = flag.Int("cache", 4096, "cached top-M lists (negative disables)")
-		workers   = flag.Int("workers", 0, "batch fan-out workers (0 = all cores)")
-		maxM      = flag.Int("max-m", 1000, "cap on requested list length m")
-		maxBatch  = flag.Int("max-batch", 1024, "cap on users per /v1/batch request")
-		lambda    = flag.Float64("lambda", 5, "fold-in l2 regularization weight")
-		relative  = flag.Bool("relative", false, "fold-in uses the R-OCuLaR objective")
+		itemsMeta = flag.String("items-meta", "", "item name/tag table (item,name,tag,... lines) enabling \"filter\" requests")
+
+		cacheSize   = flag.Int("cache", 4096, "cached top-M lists (negative disables)")
+		cacheShards = flag.Int("cache-shards", 0, "top-M cache shard count, rounded up to a power of two (0 = 16)")
+		workers     = flag.Int("workers", 0, "batch fan-out workers (0 = all cores)")
+		maxM        = flag.Int("max-m", 1000, "cap on requested list length m")
+		maxBatch    = flag.Int("max-batch", 1024, "cap on users per /v1/batch request")
+		maxBody     = flag.Int64("max-body", 0, "cap on request body bytes (0 = 1 MiB)")
+		lambda      = flag.Float64("lambda", 5, "fold-in l2 regularization weight")
+		relative    = flag.Bool("relative", false, "fold-in uses the R-OCuLaR objective")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -74,12 +86,14 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		ModelPath: *modelPath,
-		FoldIn:    ocular.Config{Lambda: *lambda, Relative: *relative},
-		CacheSize: *cacheSize,
-		Workers:   *workers,
-		MaxM:      *maxM,
-		MaxBatch:  *maxBatch,
+		ModelPath:    *modelPath,
+		FoldIn:       ocular.Config{Lambda: *lambda, Relative: *relative},
+		CacheSize:    *cacheSize,
+		CacheShards:  *cacheShards,
+		Workers:      *workers,
+		MaxM:         *maxM,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
 	}
 	if *dataPath != "" || *preset != "" {
 		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)
@@ -88,6 +102,21 @@ func main() {
 		}
 		cfg.Train = d.R
 		log.Printf("exclusion matrix: %v", d)
+	}
+	if *itemsMeta != "" {
+		// The table's item range is bounded by the served model's
+		// catalogue; peek at the model header to size it (O(1) for a v2
+		// file — only the header is validated).
+		numItems, err := modelNumItems(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tags, err := rank.LoadTagTableFile(*itemsMeta, numItems)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.ItemTags = tags
+		log.Printf("item metadata: %d tags over %d items", tags.NumTags(), tags.NumItems())
 	}
 
 	srv, err := serve.NewFromFile(cfg)
@@ -121,6 +150,27 @@ func main() {
 		}
 	}()
 
+	runServer(httpSrv)
+}
+
+// modelNumItems reads the catalogue size out of a model file, preferring
+// the O(1) mmap header over the copying v1 reader. For a v2 file (the
+// default save format) this costs one header validation; the short-lived
+// mapping is released by GC. Only a legacy v1 file pays a second full
+// read before serve.NewFromFile loads it for real.
+func modelNumItems(path string) (int, error) {
+	if mapped, err := ocular.OpenMappedModel(path); err == nil {
+		n := mapped.NumItems()
+		return n, nil
+	}
+	model, err := ocular.LoadModelFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return model.NumItems(), nil
+}
+
+func runServer(httpSrv *http.Server) {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

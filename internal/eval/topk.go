@@ -1,9 +1,7 @@
 package eval
 
 import (
-	"container/heap"
-	"sort"
-
+	"repro/internal/rank"
 	"repro/internal/sparse"
 )
 
@@ -16,9 +14,11 @@ import (
 // TopM never mutates it — so callers may read scores[i] back for the
 // returned items (the serving layer relies on this postcondition).
 //
-// Selection is a size-m min-heap over the candidates, O(n_i log m), which
-// matters when ranking a 17k-item catalogue for a top-50 list; a full sort
-// is used when m covers most of the candidate set.
+// TopM is a thin adapter over the ranking engine: it scores, then hands
+// selection to rank.Select with a training-row exclusion filter. The
+// engine owns the heap/sort selection paths and the sorted-cursor
+// exclusion walk; topk_test.go pins TopM's output to an independent
+// full-sort reference.
 func TopM(rec Recommender, train *sparse.Matrix, u, m int, scores []float64) []int {
 	if m <= 0 {
 		return nil
@@ -27,98 +27,5 @@ func TopM(rec Recommender, train *sparse.Matrix, u, m int, scores []float64) []i
 		scores = make([]float64, rec.NumItems())
 	}
 	rec.ScoreUser(u, scores)
-	owned := train.Row(u)
-	nCand := len(scores) - len(owned)
-	if nCand <= 0 {
-		return nil
-	}
-	if m*4 >= nCand {
-		return topMSort(scores, owned, m)
-	}
-	return topMHeap(scores, owned, m)
-}
-
-// topMSort ranks all candidates by full sort; exact reference used for
-// large m and by the equivalence tests.
-func topMSort(scores []float64, owned []int32, m int) []int {
-	cand := make([]int, 0, len(scores)-len(owned))
-	oi := 0
-	for i := range scores {
-		// owned is sorted; advance the cursor instead of a set lookup.
-		for oi < len(owned) && int(owned[oi]) < i {
-			oi++
-		}
-		if oi < len(owned) && int(owned[oi]) == i {
-			continue
-		}
-		cand = append(cand, i)
-	}
-	sort.Slice(cand, func(a, b int) bool {
-		if scores[cand[a]] != scores[cand[b]] {
-			return scores[cand[a]] > scores[cand[b]]
-		}
-		return cand[a] < cand[b]
-	})
-	if len(cand) > m {
-		cand = cand[:m]
-	}
-	return cand
-}
-
-// candHeap is a min-heap of candidate items keyed by (score asc, index
-// desc), so the weakest kept candidate sits at the root. The inverted index
-// order makes the heap's notion of "worst" agree with the ranking's tie
-// rule (among equal scores, the larger index is worse).
-type candHeap struct {
-	idx    []int
-	scores []float64
-}
-
-func (h *candHeap) Len() int { return len(h.idx) }
-func (h *candHeap) Less(a, b int) bool {
-	sa, sb := h.scores[h.idx[a]], h.scores[h.idx[b]]
-	if sa != sb {
-		return sa < sb
-	}
-	return h.idx[a] > h.idx[b]
-}
-func (h *candHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
-func (h *candHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
-func (h *candHeap) Pop() any      { v := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return v }
-func (h *candHeap) worse(i int) bool {
-	// Reports whether candidate i ranks below the current root.
-	root := h.idx[0]
-	if scores := h.scores; scores[i] != scores[root] {
-		return scores[i] < scores[root]
-	}
-	return i > h.idx[0]
-}
-
-func topMHeap(scores []float64, owned []int32, m int) []int {
-	h := &candHeap{idx: make([]int, 0, m+1), scores: scores}
-	oi := 0
-	for i := range scores {
-		// owned is sorted; advance the cursor instead of a set lookup.
-		for oi < len(owned) && int(owned[oi]) < i {
-			oi++
-		}
-		if oi < len(owned) && int(owned[oi]) == i {
-			continue
-		}
-		if h.Len() < m {
-			heap.Push(h, i)
-			continue
-		}
-		if h.worse(i) {
-			continue
-		}
-		h.idx[0] = i
-		heap.Fix(h, 0)
-	}
-	// Drain ascending-worst, fill the output back to front.
-	out := make([]int, h.Len())
-	for n := len(out) - 1; n >= 0; n-- {
-		out[n] = heap.Pop(h).(int)
-	}
-	return out
+	return rank.Select(scores, m, rank.TrainRow(train, u))
 }

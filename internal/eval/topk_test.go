@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -8,9 +9,38 @@ import (
 	"repro/internal/sparse"
 )
 
-// TestHeapMatchesSortReference: the heap selection must return exactly the
-// prefix of the full-sort ranking for every m, including under heavy ties.
-func TestHeapMatchesSortReference(t *testing.T) {
+// refTopM is an independent full-sort reference for the pre-refactor TopM
+// contract: rank the non-owned items by (score desc, index asc), truncate
+// to m, return nil when no candidates exist. It shares no code with the
+// rank engine, so agreement pins the engine-backed TopM bit-identically to
+// the original selection semantics.
+func refTopM(scores []float64, owned []int32, m int) []int {
+	ownedSet := make(map[int]bool, len(owned))
+	for _, i := range owned {
+		ownedSet[int(i)] = true
+	}
+	var cand []int
+	for i := range scores {
+		if !ownedSet[i] {
+			cand = append(cand, i)
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if scores[cand[a]] != scores[cand[b]] {
+			return scores[cand[a]] > scores[cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	if len(cand) > m {
+		cand = cand[:m]
+	}
+	return cand
+}
+
+// TestTopMMatchesReference: the engine-backed TopM must return exactly the
+// reference ranking for every m, including under heavy ties and both
+// selection regimes (heap for small m, full sort for large m).
+func TestTopMMatchesReference(t *testing.T) {
 	f := func(seed uint16, mRaw uint8) bool {
 		r := rng.New(uint64(seed) + 101)
 		ni := 5 + r.Intn(200)
@@ -25,10 +55,11 @@ func TestHeapMatchesSortReference(t *testing.T) {
 				b.Add(0, i)
 			}
 		}
-		owned := b.Build().Row(0)
+		train := b.Build()
 		m := 1 + int(mRaw)%ni
-		want := topMSort(scores, owned, m)
-		got := topMHeap(scores, owned, m)
+		rec := &fixedRec{scores: [][]float64{scores}}
+		want := refTopM(scores, train.Row(0), m)
+		got := TopM(rec, train, 0, m, nil)
 		if len(want) != len(got) {
 			return false
 		}
@@ -84,11 +115,30 @@ func TestTopMHeapPathExercised(t *testing.T) {
 		}
 	}
 	// Cross-check against the reference.
-	want := topMSort(scores, nil, 10)
+	want := refTopM(scores, nil, 10)
 	for n := range want {
 		if top[n] != want[n] {
-			t.Fatalf("heap ranking diverges from sort at %d", n)
+			t.Fatalf("heap ranking diverges from reference at %d", n)
 		}
+	}
+}
+
+// TestTopMScratchPostcondition: TopM must leave exactly what ScoreUser
+// wrote in the scratch buffer (the serving layer reads scores back by
+// item index).
+func TestTopMScratchPostcondition(t *testing.T) {
+	scores := []float64{0.5, 0.1, 0.9, 0.3}
+	rec := &fixedRec{scores: [][]float64{scores}}
+	train := sparse.FromDense([][]bool{{false, true, false, false}})
+	scratch := make([]float64, 4)
+	top := TopM(rec, train, 0, 2, scratch)
+	for i, want := range scores {
+		if scratch[i] != want {
+			t.Fatalf("scratch[%d] = %v, want %v (TopM mutated the score buffer)", i, scratch[i], want)
+		}
+	}
+	if len(top) != 2 || top[0] != 2 || top[1] != 0 {
+		t.Fatalf("top = %v, want [2 0]", top)
 	}
 }
 
@@ -109,14 +159,18 @@ func BenchmarkTopMHeap50of5000(b *testing.B) {
 }
 
 func BenchmarkTopMSort5000(b *testing.B) {
+	// m covers most of the candidate set, forcing the full-sort path.
 	r := rng.New(1)
 	ni := 5000
 	scores := make([]float64, ni)
 	for i := range scores {
 		scores[i] = r.Float64()
 	}
+	rec := &fixedRec{scores: [][]float64{scores}}
+	train := sparse.NewBuilder(1, ni).Build()
+	scratch := make([]float64, ni)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		topMSort(scores, nil, 50)
+		TopM(rec, train, 0, 2000, scratch)
 	}
 }

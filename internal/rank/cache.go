@@ -1,26 +1,45 @@
-package serve
+package rank
 
 import (
 	"container/list"
 	"sync"
 )
 
+// requestKey identifies one cacheable ranking request: user, list length,
+// and the fingerprint of its flattened filter set. Covering the filters in
+// the key makes filtered requests cacheable rather than wrong — two
+// requests for the same (user, m) with different exclusion sets never
+// share an entry.
+type requestKey struct {
+	user, m int
+	filters string
+}
+
+func (k requestKey) hash() uint64 {
+	// FNV-1a over the filter fingerprint, then Fibonacci-mix the
+	// typically-sequential user ids in.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.filters); i++ {
+		h ^= uint64(k.filters[i])
+		h *= 1099511628211
+	}
+	return (h ^ (uint64(k.user)*2 + uint64(k.m))) * 0x9E3779B97F4A7C15
+}
+
 // topCache is a sharded LRU cache of precomputed top-M lists keyed by
-// (user, m). Sharding bounds lock contention on the hot path: concurrent
+// requestKey. Sharding bounds lock contention on the hot path: concurrent
 // requests for different users hash to different shards with high
-// probability. A cache belongs to one model snapshot — a model reload
-// installs a fresh cache, so invalidation is wholesale and race-free
-// (requests still running against the old snapshot keep hitting the old,
-// still-consistent cache).
+// probability. A cache belongs to one Engine — the serving layer installs
+// a fresh engine per model snapshot, so invalidation is wholesale and
+// race-free (requests still running against the old snapshot keep hitting
+// the old, still-consistent cache).
 type topCache struct {
 	shards []cacheShard
 	mask   uint64
 }
 
-type cacheKey struct{ user, m int }
-
 type cacheEntry struct {
-	key    cacheKey
+	key    requestKey
 	items  []int
 	scores []float64
 }
@@ -29,7 +48,7 @@ type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	order list.List // front = most recently used
-	byKey map[cacheKey]*list.Element
+	byKey map[requestKey]*list.Element
 }
 
 // newTopCache builds a cache holding about capacity entries total across
@@ -50,20 +69,18 @@ func newTopCache(capacity, shards int) *topCache {
 	c := &topCache{shards: make([]cacheShard, n), mask: uint64(n - 1)}
 	for i := range c.shards {
 		c.shards[i].cap = perShard
-		c.shards[i].byKey = make(map[cacheKey]*list.Element, perShard)
+		c.shards[i].byKey = make(map[requestKey]*list.Element, perShard)
 	}
 	return c
 }
 
-func (c *topCache) shard(k cacheKey) *cacheShard {
-	// Fibonacci hashing spreads the typically-sequential user ids.
-	h := (uint64(k.user)*2 + uint64(k.m)) * 0x9E3779B97F4A7C15
-	return &c.shards[(h>>32)&c.mask]
+func (c *topCache) shard(k requestKey) *cacheShard {
+	return &c.shards[(k.hash()>>32)&c.mask]
 }
 
 // get returns the cached list for k. The returned slices are shared and
 // must not be modified.
-func (c *topCache) get(k cacheKey) (items []int, scores []float64, ok bool) {
+func (c *topCache) get(k requestKey) (items []int, scores []float64, ok bool) {
 	if c == nil {
 		return nil, nil, false
 	}
@@ -82,7 +99,7 @@ func (c *topCache) get(k cacheKey) (items []int, scores []float64, ok bool) {
 // put stores the list for k, evicting the least recently used entry of the
 // shard when full. The slices are retained; callers must not modify them
 // afterwards.
-func (c *topCache) put(k cacheKey, items []int, scores []float64) {
+func (c *topCache) put(k requestKey, items []int, scores []float64) {
 	if c == nil {
 		return
 	}

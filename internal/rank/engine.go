@@ -1,0 +1,238 @@
+// Package rank is the transport-agnostic ranking engine behind both the
+// offline evaluator and the online serving layer. A request is (scorer, m,
+// filters...) and the pipeline is score → filter → select: the scorer
+// writes a relevance score for every item, composable Filters remove
+// candidates (training positives, per-request exclusion lists, item-tag
+// allow/deny lists), and selection returns the top-m survivors under a
+// deterministic tie rule.
+//
+// The Engine adds the serving machinery on top of the pure pipeline:
+// pooled score buffers, a sharded LRU cache keyed by a request fingerprint
+// covering user, m and the filter set (so filtered requests are cacheable
+// rather than wrong), and singleflight coalescing of duplicate cache
+// misses — concurrent requests for the same fingerprint compute the list
+// once. Transports (HTTP today; gRPC or a columnar batch path tomorrow)
+// stay thin adapters over one of these entry points.
+package rank
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Scorer produces the relevance scores a ranking starts from. Both
+// eval.Recommender implementations (every algorithm in the repo) and
+// core.Scorer (the mmap serving path) satisfy it.
+type Scorer interface {
+	// ScoreUser writes a relevance score for every item for user u into
+	// dst, which has length NumItems().
+	ScoreUser(u int, dst []float64)
+	// NumItems reports the catalogue size ScoreUser writes.
+	NumItems() int
+}
+
+// Config tunes an Engine. The zero value disables caching (and with it
+// coalescing, which only applies to cacheable requests).
+type Config struct {
+	// CacheSize is the approximate total number of cached top-M lists
+	// across shards; <= 0 disables the cache.
+	CacheSize int
+	// CacheShards is the cache's shard count (rounded up to a power of
+	// two). 0 means 16.
+	CacheShards int
+	// Stats, when non-nil, receives the engine's counters. Sharing one
+	// Stats across successive engines (the serving layer rebuilds the
+	// engine on every model reload) keeps the counters cumulative.
+	Stats *Stats
+}
+
+// Stats counts an engine's cache and coalescing activity. All methods are
+// safe for concurrent use. The zero value is ready.
+type Stats struct {
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	ranked    atomic.Int64
+}
+
+// Hits returns the number of requests answered from the cache.
+func (s *Stats) Hits() int64 { return s.hits.Load() }
+
+// Misses returns the number of requests not answered from the cache
+// (including uncacheable requests and coalesced waiters' leaders).
+func (s *Stats) Misses() int64 { return s.misses.Load() }
+
+// Coalesced returns the number of duplicate concurrent misses that waited
+// on another request's computation instead of ranking themselves.
+func (s *Stats) Coalesced() int64 { return s.coalesced.Load() }
+
+// Ranked returns the number of full score→filter→select computations —
+// the work the cache and coalescing exist to avoid.
+func (s *Stats) Ranked() int64 { return s.ranked.Load() }
+
+// Engine executes ranking requests over one scorer. All methods are safe
+// for concurrent use. An engine is bound to an immutable scorer: the
+// serving layer builds a fresh engine per model snapshot, which also makes
+// cache invalidation wholesale and race-free.
+type Engine struct {
+	scorer Scorer
+	cache  *topCache
+	flight flightGroup
+	stats  *Stats
+	bufs   sync.Pool // *[]float64 of length scorer.NumItems()
+}
+
+// NewEngine builds an engine ranking scorer's scores under cfg.
+func NewEngine(scorer Scorer, cfg Config) *Engine {
+	stats := cfg.Stats
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Engine{
+		scorer: scorer,
+		cache:  newTopCache(cfg.CacheSize, cfg.CacheShards),
+		stats:  stats,
+	}
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// CacheLen returns the number of cached top-M lists.
+func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// TopM returns the top-m items for user u, with their scores, among the
+// candidates surviving the filters — the cached, coalesced entry point of
+// the known-user hot path. cached reports whether the list came from the
+// cache (or from another request's in-flight computation). The returned
+// slices are shared with the cache and must not be modified.
+//
+// A request is cacheable when every filter is Keyed; the cache key covers
+// (u, m, filter fingerprints). Concurrent cacheable misses with equal keys
+// are coalesced: one computes, the rest wait and share the result.
+func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float64, cached bool) {
+	flat := flatten(filters)
+	score := func(dst []float64) { e.scorer.ScoreUser(u, dst) }
+	fp, cacheable := fingerprint(flat)
+	if !cacheable || e.cache == nil {
+		e.stats.misses.Add(1)
+		items, scores = e.rank(score, m, flat)
+		return items, scores, false
+	}
+	key := requestKey{user: u, m: m, filters: fp}
+	if items, scores, ok := e.cache.get(key); ok {
+		e.stats.hits.Add(1)
+		return items, scores, true
+	}
+	c, leader := e.flight.join(key)
+	if !leader {
+		<-c.done
+		if c.ok {
+			e.stats.coalesced.Add(1)
+			return c.items, c.scores, true
+		}
+		// The leader failed to publish (it panicked); fall back to an
+		// uncoalesced computation rather than propagating its failure.
+		e.stats.misses.Add(1)
+		items, scores = e.rank(score, m, flat)
+		e.cache.put(key, items, scores)
+		return items, scores, false
+	}
+	e.stats.misses.Add(1)
+	published := false
+	defer func() {
+		if !published {
+			e.flight.abandon(key, c)
+		}
+	}()
+	items, scores = e.rank(score, m, flat)
+	e.cache.put(key, items, scores)
+	e.flight.publish(key, c, items, scores)
+	published = true
+	return items, scores, false
+}
+
+// Rank runs the pipeline with a caller-supplied scoring function — the
+// fold-in path, where the "user" is a factor solved per request and
+// results are inherently uncacheable. score receives a pooled buffer of
+// length NumItems and must fill it completely. Rank counts toward the
+// ranked stat but not the cache hit/miss counters (it never consults the
+// cache).
+func (e *Engine) Rank(score func(dst []float64), m int, filters ...Filter) (items []int, scores []float64) {
+	return e.rank(score, m, flatten(filters))
+}
+
+// rank is the shared score → filter → select execution over a pooled
+// buffer, compacting the survivors' scores alongside the items.
+func (e *Engine) rank(score func(dst []float64), m int, flat []Filter) ([]int, []float64) {
+	e.stats.ranked.Add(1)
+	buf := e.getBuf()
+	score(buf)
+	items := selectFlat(buf, m, flat)
+	scores := make([]float64, len(items))
+	for n, i := range items {
+		scores[n] = buf[i]
+	}
+	e.putBuf(buf)
+	return items, scores
+}
+
+func (e *Engine) getBuf() []float64 {
+	if p, ok := e.bufs.Get().(*[]float64); ok {
+		return *p
+	}
+	return make([]float64, e.scorer.NumItems())
+}
+
+func (e *Engine) putBuf(b []float64) {
+	e.bufs.Put(&b)
+}
+
+// flightGroup coalesces duplicate in-flight computations per request key —
+// a minimal singleflight. The first join for a key becomes the leader and
+// computes; later joins receive the same call and wait on done.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[requestKey]*flightCall
+}
+
+type flightCall struct {
+	done   chan struct{}
+	ok     bool // set before done closes; false when the leader abandoned
+	items  []int
+	scores []float64
+}
+
+// join returns the in-flight call for key, creating it when absent; leader
+// reports whether the caller created it (and must publish or abandon).
+func (g *flightGroup) join(key requestKey) (c *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[requestKey]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c = &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// publish hands the leader's result to the waiters and retires the call.
+func (g *flightGroup) publish(key requestKey, c *flightCall, items []int, scores []float64) {
+	c.items, c.scores, c.ok = items, scores, true
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
+
+// abandon retires the call without a result (leader panicked); waiters
+// recompute for themselves.
+func (g *flightGroup) abandon(key requestKey, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -1,0 +1,168 @@
+package rank
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Select returns the indices of the m highest-scoring items among those no
+// filter excludes, in descending score order with ties broken by ascending
+// index (deterministic rankings; see McSherry & Najork on tied scores).
+// Fewer than m items are returned when fewer candidates survive the
+// filters, and nil when none do. scores is never mutated, so callers may
+// read scores[i] back for the returned items.
+//
+// Selection is a size-m min-heap over the candidates, O(n_i log m), which
+// matters when ranking a 17k-item catalogue for a top-50 list; a full sort
+// is used when m covers most of the candidate set. Both paths share one
+// exclusion scan that walks Sorted filters with cursors and falls back to
+// the Excluded predicate for the rest.
+func Select(scores []float64, m int, filters ...Filter) []int {
+	return selectFlat(scores, m, flatten(filters))
+}
+
+// selectFlat is Select over an already-flattened filter list (the engine
+// flattens once per request, for the fingerprint and the scan).
+func selectFlat(scores []float64, m int, flat []Filter) []int {
+	if m <= 0 {
+		return nil
+	}
+	scan := newExclusionScan(flat)
+	// Upper-bound the exclusions to estimate the candidate count. Filters
+	// may overlap, so this underestimates nCand — which only biases the
+	// path choice toward the full sort; both paths return identical
+	// rankings.
+	bound := 0
+	for _, f := range flat {
+		if c, ok := f.(bounder); ok {
+			bound += c.maxExcluded(len(scores))
+		}
+	}
+	if nCand := len(scores) - bound; m*4 < nCand {
+		return selectHeap(scores, m, scan)
+	}
+	return selectSort(scores, m, scan)
+}
+
+// exclusionScan merges a request's filters into one per-item test for the
+// ascending selection scan: Sorted filters advance cursors (amortized O(1)
+// per item), the rest answer through their Excluded predicate. excluded
+// must be called with strictly increasing items.
+type exclusionScan struct {
+	lists   [][]int32
+	cursors []int
+	preds   []Filter
+}
+
+func newExclusionScan(flat []Filter) *exclusionScan {
+	s := &exclusionScan{}
+	for _, f := range flat {
+		if sf, ok := f.(Sorted); ok {
+			s.lists = append(s.lists, sf.ExcludedList())
+			continue
+		}
+		s.preds = append(s.preds, f)
+	}
+	s.cursors = make([]int, len(s.lists))
+	return s
+}
+
+func (s *exclusionScan) excluded(item int) bool {
+	for n, l := range s.lists {
+		c := s.cursors[n]
+		for c < len(l) && int(l[c]) < item {
+			c++
+		}
+		s.cursors[n] = c
+		if c < len(l) && int(l[c]) == item {
+			return true
+		}
+	}
+	for _, p := range s.preds {
+		if p.Excluded(item) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectSort ranks all candidates by full sort; exact reference used for
+// large m and by the equivalence tests.
+func selectSort(scores []float64, m int, scan *exclusionScan) []int {
+	cand := make([]int, 0, len(scores))
+	for i := range scores {
+		if scan.excluded(i) {
+			continue
+		}
+		cand = append(cand, i)
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Slice(cand, func(a, b int) bool {
+		if scores[cand[a]] != scores[cand[b]] {
+			return scores[cand[a]] > scores[cand[b]]
+		}
+		return cand[a] < cand[b]
+	})
+	if len(cand) > m {
+		cand = cand[:m]
+	}
+	return cand
+}
+
+// candHeap is a min-heap of candidate items keyed by (score asc, index
+// desc), so the weakest kept candidate sits at the root. The inverted index
+// order makes the heap's notion of "worst" agree with the ranking's tie
+// rule (among equal scores, the larger index is worse).
+type candHeap struct {
+	idx    []int
+	scores []float64
+}
+
+func (h *candHeap) Len() int { return len(h.idx) }
+func (h *candHeap) Less(a, b int) bool {
+	sa, sb := h.scores[h.idx[a]], h.scores[h.idx[b]]
+	if sa != sb {
+		return sa < sb
+	}
+	return h.idx[a] > h.idx[b]
+}
+func (h *candHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *candHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *candHeap) Pop() any      { v := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return v }
+func (h *candHeap) worse(i int) bool {
+	// Reports whether candidate i ranks below the current root.
+	root := h.idx[0]
+	if scores := h.scores; scores[i] != scores[root] {
+		return scores[i] < scores[root]
+	}
+	return i > h.idx[0]
+}
+
+func selectHeap(scores []float64, m int, scan *exclusionScan) []int {
+	h := &candHeap{idx: make([]int, 0, m+1), scores: scores}
+	for i := range scores {
+		if scan.excluded(i) {
+			continue
+		}
+		if h.Len() < m {
+			heap.Push(h, i)
+			continue
+		}
+		if h.worse(i) {
+			continue
+		}
+		h.idx[0] = i
+		heap.Fix(h, 0)
+	}
+	if h.Len() == 0 {
+		return nil
+	}
+	// Drain ascending-worst, fill the output back to front.
+	out := make([]int, h.Len())
+	for n := len(out) - 1; n >= 0; n-- {
+		out[n] = heap.Pop(h).(int)
+	}
+	return out
+}

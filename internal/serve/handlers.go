@@ -7,10 +7,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"time"
 
 	"repro/internal/explain"
 	"repro/internal/parallel"
-	"repro/internal/sparse"
+	"repro/internal/rank"
 )
 
 // endpointNames registers every instrumented endpoint with Metrics.
@@ -92,10 +93,62 @@ func zipScored(items []int, scores []float64) []ScoredItem {
 	return out
 }
 
-// RecommendRequest asks for the top-M list of a known user.
+// FilterSpec selects item-metadata filters by tag, against the server's
+// item tag table (Config.ItemTags / ocular-serve -items-meta). Allow and
+// deny compose: an item must carry at least one allow tag (when any are
+// given) and none of the deny tags.
+type FilterSpec struct {
+	AllowTags []string `json:"allow_tags,omitempty"`
+	DenyTags  []string `json:"deny_tags,omitempty"`
+}
+
+// requestFilters translates the per-request exclusion list and tag filter
+// spec into engine filters. Validation happens here, once per request —
+// a batch shares the result across its users (filters are immutable and
+// safe for concurrent use).
+func (s *Server) requestFilters(sn *snapshot, exclude []int, spec *FilterSpec) ([]rank.Filter, error) {
+	var filters []rank.Filter
+	if len(exclude) > 0 {
+		for _, i := range exclude {
+			if i < 0 || i >= sn.model.NumItems() {
+				return nil, fmt.Errorf("exclude item %d out of range (%d items)", i, sn.model.NumItems())
+			}
+		}
+		filters = append(filters, rank.ExcludeItems(exclude))
+	}
+	if spec != nil && (len(spec.AllowTags) > 0 || len(spec.DenyTags) > 0) {
+		tags := s.cfg.ItemTags
+		if tags == nil {
+			return nil, errors.New("no item tag table configured (start the server with -items-meta)")
+		}
+		if len(spec.AllowTags) > 0 {
+			f, err := tags.Allow(spec.AllowTags...)
+			if err != nil {
+				return nil, err
+			}
+			filters = append(filters, f)
+		}
+		if len(spec.DenyTags) > 0 {
+			f, err := tags.Deny(spec.DenyTags...)
+			if err != nil {
+				return nil, err
+			}
+			filters = append(filters, f)
+		}
+	}
+	return filters, nil
+}
+
+// RecommendRequest asks for the top-M list of a known user. ExcludeItems
+// removes explicit items from the candidates on top of the user's training
+// positives; Filter applies item-tag allow/deny lists. Filtered requests
+// are cached like unfiltered ones — the cache key fingerprints the filter
+// set.
 type RecommendRequest struct {
-	User int `json:"user"`
-	M    int `json:"m,omitempty"`
+	User         int         `json:"user"`
+	M            int         `json:"m,omitempty"`
+	ExcludeItems []int       `json:"exclude_items,omitempty"`
+	Filter       *FilterSpec `json:"filter,omitempty"`
 }
 
 // RecommendResponse carries one user's ranked recommendations.
@@ -116,19 +169,28 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	sn := s.snap.Load()
-	resp, err := s.recommendOne(sn, req.User, m)
+	extra, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	resp, err := s.recommendOne(sn, req.User, m, extra)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
-// recommendOne serves one user's top-m list; m must already be clamped.
-func (s *Server) recommendOne(sn *snapshot, user, m int) (RecommendResponse, error) {
+// recommendOne serves one user's top-m list through the snapshot's ranking
+// engine, composing the user's training-row exclusion with the request's
+// extra filters; m must already be clamped.
+func (s *Server) recommendOne(sn *snapshot, user, m int, extra []rank.Filter) (RecommendResponse, error) {
 	if user < 0 || user >= sn.model.NumUsers() {
 		return RecommendResponse{}, fmt.Errorf("user %d out of range (%d users)", user, sn.model.NumUsers())
 	}
-	items, scores, cached := s.topM(sn, user, m)
+	filters := make([]rank.Filter, 0, len(extra)+1)
+	filters = append(filters, rank.TrainRow(sn.train, user))
+	filters = append(filters, extra...)
+	items, scores, cached := sn.engine.TopM(user, m, filters...)
 	return RecommendResponse{
 		User:         user,
 		Items:        zipScored(items, scores),
@@ -139,10 +201,14 @@ func (s *Server) recommendOne(sn *snapshot, user, m int) (RecommendResponse, err
 
 // FoldInRequest asks for cold-start recommendations: the item history of a
 // user unseen at training time goes in, a fold-in factor and ranked list
-// come out (Section IV-D's new-client onboarding path).
+// come out (Section IV-D's new-client onboarding path). ExcludeItems and
+// Filter behave as in RecommendRequest; the history items are always
+// excluded from the list.
 type FoldInRequest struct {
-	Items []int `json:"items"`
-	M     int   `json:"m,omitempty"`
+	Items        []int       `json:"items"`
+	M            int         `json:"m,omitempty"`
+	ExcludeItems []int       `json:"exclude_items,omitempty"`
+	Filter       *FilterSpec `json:"filter,omitempty"`
 }
 
 // FoldInResponse carries the fold-in factor, bias and recommendations (the
@@ -154,29 +220,14 @@ type FoldInResponse struct {
 	ModelVersion uint64       `json:"model_version"`
 }
 
-// foldRec adapts a fold-in factor to eval.Recommender so eval.TopM's
-// selection machinery (and its scratch-buffer discipline) applies to
-// cold-start users too. It scores one synthetic user, index 0.
-type foldRec struct {
-	sn     *snapshot
-	factor []float64
-	bias   float64
-}
-
-func (f foldRec) ScoreUser(_ int, dst []float64) {
-	f.sn.scorer.ScoreWithFactor(f.factor, f.bias, dst)
-}
-func (f foldRec) NumUsers() int { return 1 }
-func (f foldRec) NumItems() int { return f.sn.model.NumItems() }
-
 // canonicalHistory validates and canonicalizes a fold-in item history:
 // out-of-range items are rejected up front (before any solver work), and
 // the result is sorted and duplicate-free. Canonicalizing makes the
 // response independent of the client's item order and multiplicity — the
 // fold-in solver sums float contributions in history order, so two
 // orderings of the same set would otherwise return factors differing in
-// their low bits — and gives the exclusion walk of rankTopM its sorted,
-// deduplicated row directly.
+// their low bits — and hands the engine's history-exclusion filter its
+// sorted, deduplicated list directly.
 func canonicalHistory(items []int, numItems int) ([]int, error) {
 	hist := make([]int, len(items))
 	copy(hist, items)
@@ -211,17 +262,20 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
+	filters, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
 	factor, bias, err := sn.model.FoldInUser(history, s.cfg.FoldIn)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	// Exclude the history via a one-row matrix, reusing TopM's sorted-row
-	// exclusion walk.
-	hb := sparse.NewBuilder(1, sn.model.NumItems())
-	for _, i := range history {
-		hb.Add(0, i)
-	}
-	items, scores := sn.rankTopM(foldRec{sn: sn, factor: factor, bias: bias}, hb.Build(), 0, m)
+	// The history is excluded through an engine filter (its sorted walk),
+	// not a one-row sparse matrix built per request.
+	filters = append(filters, rank.ExcludeItems(history))
+	items, scores := sn.engine.Rank(func(dst []float64) {
+		sn.scorer.ScoreWithFactor(factor, bias, dst)
+	}, m, filters...)
 	return writeJSON(w, http.StatusOK, FoldInResponse{
 		Factor:       factor,
 		Bias:         bias,
@@ -294,9 +348,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 }
 
 // BatchRequest asks for top-M lists of many users in one round trip.
+// ExcludeItems and Filter apply to every user in the batch.
 type BatchRequest struct {
-	Users []int `json:"users"`
-	M     int   `json:"m,omitempty"`
+	Users        []int       `json:"users"`
+	M            int         `json:"m,omitempty"`
+	ExcludeItems []int       `json:"exclude_items,omitempty"`
+	Filter       *FilterSpec `json:"filter,omitempty"`
 }
 
 // BatchResponse carries one result per requested user, in request order.
@@ -332,16 +389,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	sn := s.snap.Load()
+	extra, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
 	results := make([]BatchResult, len(req.Users))
-	parallel.For(len(req.Users), s.cfg.Workers, func(n int, _ *parallel.Scratch) {
+	serveUser := func(n int) {
 		u := req.Users[n]
-		resp, err := s.recommendOne(sn, u, m)
+		resp, err := s.recommendOne(sn, u, m, extra)
 		if err != nil {
 			results[n] = BatchResult{User: u, Error: err.Error()}
 			return
 		}
 		results[n] = BatchResult{User: u, Items: resp.Items, Cached: resp.Cached}
-	})
+	}
+	if len(req.Users) == 1 {
+		// Worker spin-up dominates a single-user batch; serve it inline.
+		serveUser(0)
+	} else {
+		parallel.For(len(req.Users), s.cfg.Workers, func(n int, _ *parallel.Scratch) {
+			serveUser(n)
+		})
+	}
 	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: sn.version})
 }
 
@@ -368,7 +437,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 		"status":        "ok",
 		"model":         sn.model.String(),
 		"model_version": sn.version,
-		"loaded_at":     sn.loadedAt.UTC().Format("2006-01-02T15:04:05Z07:00"),
+		"loaded_at":     sn.loadedAt.UTC().Format(time.RFC3339),
 		"mapped":        sn.mapped != nil,
 		"float32":       sn.mapped != nil && sn.mapped.HasFloat32(),
 	})
@@ -376,5 +445,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	sn := s.snap.Load()
-	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.cache.len()))
+	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.engine.CacheLen()))
 }

@@ -5,6 +5,8 @@ import (
 	"expvar"
 	"net/http"
 	"time"
+
+	"repro/internal/rank"
 )
 
 // latencyBucketBounds are the upper bounds (exclusive) of the request
@@ -68,19 +70,22 @@ func (em *endpointMetrics) snapshot() map[string]any {
 }
 
 // Metrics aggregates serving statistics across all endpoints of a Server.
+// Cache and coalescing counters live in the shared rank.Stats, fed by the
+// snapshots' ranking engines; sharing one Stats across reloads keeps them
+// cumulative.
 type Metrics struct {
-	start       time.Time
-	endpoints   map[string]*endpointMetrics
-	cacheHits   expvar.Int
-	cacheMisses expvar.Int
-	reloads     expvar.Int
-	inFlight    expvar.Int
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+	rank      *rank.Stats
+	reloads   expvar.Int
+	inFlight  expvar.Int
 }
 
-func newMetrics(endpointNames []string) *Metrics {
+func newMetrics(endpointNames []string, stats *rank.Stats) *Metrics {
 	m := &Metrics{
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+		rank:      stats,
 	}
 	for _, name := range endpointNames {
 		m.endpoints[name] = &endpointMetrics{}
@@ -89,8 +94,10 @@ func newMetrics(endpointNames []string) *Metrics {
 }
 
 // CacheHitRate returns hits / (hits + misses), or 0 before any lookup.
+// Coalesced waiters count as neither: they are misses that borrowed
+// another request's computation.
 func (m *Metrics) CacheHitRate() float64 {
-	h, miss := m.cacheHits.Value(), m.cacheMisses.Value()
+	h, miss := m.rank.Hits(), m.rank.Misses()
 	if h+miss == 0 {
 		return 0
 	}
@@ -109,10 +116,16 @@ func (m *Metrics) snapshot(version uint64, cacheEntries int) map[string]any {
 		"model_reloads":  m.reloads.Value(),
 		"in_flight":      m.inFlight.Value(),
 		"cache": map[string]any{
-			"hits":     m.cacheHits.Value(),
-			"misses":   m.cacheMisses.Value(),
-			"hit_rate": m.CacheHitRate(),
-			"entries":  cacheEntries,
+			"hits": m.rank.Hits(),
+			// misses counts requests not answered from the cache;
+			// coalesced is the subset of concurrent duplicates that shared
+			// another miss's computation, and ranked the full
+			// score→filter→select computations actually performed.
+			"misses":    m.rank.Misses(),
+			"coalesced": m.rank.Coalesced(),
+			"ranked":    m.rank.Ranked(),
+			"hit_rate":  m.CacheHitRate(),
+			"entries":   cacheEntries,
 		},
 		"endpoints": eps,
 	}

@@ -5,12 +5,15 @@
 // model, cmd/ocular-serve loads it and answers top-M recommendation,
 // cold-start fold-in, and co-cluster explanation queries.
 //
-// The hot path is allocation-disciplined: per-request score buffers come
-// from a sync.Pool and are handed to eval.TopM as scratch, and computed
-// top-M lists land in a sharded LRU cache keyed by (user, m). The model is
-// hot-swappable: Reload atomically installs a new snapshot (model + fresh
-// cache + fresh buffer pool) without dropping in-flight requests, which
-// keep serving from the snapshot they started with.
+// The handlers are thin transport over the ranking engine of
+// internal/rank: every request shape — known-user top-M, cold-start
+// fold-in, per-request exclusion lists, item-tag filters — is one engine
+// call with a different scorer or filter set. The engine owns the pooled
+// score buffers, the sharded top-M cache (keyed by a fingerprint covering
+// user, m and filters), and singleflight coalescing of duplicate misses.
+// The model is hot-swappable: Reload atomically installs a new snapshot
+// (model + fresh engine) without dropping in-flight requests, which keep
+// serving from the snapshot they started with.
 package serve
 
 import (
@@ -22,7 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/eval"
+	"repro/internal/rank"
 	"repro/internal/sparse"
 )
 
@@ -57,6 +60,11 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// ItemTags, when non-nil, is the item name/tag table backing the
+	// "filter" request field (allow/deny by tag). Requests naming tags are
+	// rejected when no table is configured. The table may cover fewer
+	// items than the model (unlisted items carry no tags) but never more.
+	ItemTags *rank.TagTable
 }
 
 func (c Config) withDefaults() Config {
@@ -93,19 +101,10 @@ type snapshot struct {
 	train    *sparse.Matrix    // never nil; empty matrix when no exclusions
 	version  uint64
 	loadedAt time.Time
-	cache    *topCache
-	bufs     sync.Pool // *[]float64 of length model.NumItems()
-}
-
-func (sn *snapshot) getBuf() []float64 {
-	if p, ok := sn.bufs.Get().(*[]float64); ok {
-		return *p
-	}
-	return make([]float64, sn.model.NumItems())
-}
-
-func (sn *snapshot) putBuf(b []float64) {
-	sn.bufs.Put(&b)
+	// engine ranks this snapshot's scorer: it owns the pooled score
+	// buffers, the top-M cache and miss coalescing. One engine per
+	// snapshot makes cache invalidation on reload wholesale and race-free.
+	engine *rank.Engine
 }
 
 // Server answers recommendation queries over the current model snapshot.
@@ -115,7 +114,10 @@ type Server struct {
 	snap    atomic.Pointer[snapshot]
 	version atomic.Uint64
 	metrics *Metrics
-	mux     *http.ServeMux
+	// rankStats is shared across the snapshots' engines so cache and
+	// coalescing counters stay cumulative over reloads.
+	rankStats *rank.Stats
+	mux       *http.ServeMux
 	// reloadMu serializes reloads: without it, two concurrent reloads (the
 	// /v1/reload handler and the SIGHUP path) could each read the model
 	// file and then install their snapshots in the opposite order, leaving
@@ -153,7 +155,8 @@ func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server
 		return nil, fmt.Errorf("serve: internal error: limits not defaulted (MaxM=%d MaxBatch=%d MaxBodyBytes=%d)",
 			cfg.MaxM, cfg.MaxBatch, cfg.MaxBodyBytes)
 	}
-	s := &Server{cfg: cfg, metrics: newMetrics(endpointNames)}
+	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
+	s.metrics = newMetrics(endpointNames, s.rankStats)
 	if err := s.install(model, mapped); err != nil {
 		return nil, err
 	}
@@ -206,6 +209,10 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 	} else {
 		train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
 	}
+	if tags := s.cfg.ItemTags; tags != nil && tags.NumItems() > model.NumItems() {
+		return fmt.Errorf("serve: item tag table covers %d items but the model has %d",
+			tags.NumItems(), model.NumItems())
+	}
 	scorer := core.Scorer(model)
 	if mapped != nil {
 		scorer = mapped
@@ -217,7 +224,11 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 		train:    train,
 		version:  s.version.Add(1),
 		loadedAt: time.Now(),
-		cache:    newTopCache(s.cfg.CacheSize, s.cfg.CacheShards),
+		engine: rank.NewEngine(scorer, rank.Config{
+			CacheSize:   s.cfg.CacheSize,
+			CacheShards: s.cfg.CacheShards,
+			Stats:       s.rankStats,
+		}),
 	}
 	s.snap.Store(sn)
 	return nil
@@ -283,31 +294,3 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Handler returns the HTTP handler serving the v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// rankTopM ranks rec's scores for user u of the exclusion matrix train
-// using a pooled score buffer, returning the top-m items with their scores.
-func (sn *snapshot) rankTopM(rec eval.Recommender, train *sparse.Matrix, u, m int) (items []int, scores []float64) {
-	buf := sn.getBuf()
-	items = eval.TopM(rec, train, u, m, buf)
-	scores = make([]float64, len(items))
-	for n, i := range items {
-		scores[n] = buf[i]
-	}
-	sn.putBuf(buf)
-	return items, scores
-}
-
-// topM returns the top-m list for user u on snapshot sn, serving from the
-// snapshot's cache when possible. The returned slices are shared with the
-// cache and must not be modified.
-func (s *Server) topM(sn *snapshot, u, m int) (items []int, scores []float64, cached bool) {
-	key := cacheKey{user: u, m: m}
-	if items, scores, ok := sn.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		return items, scores, true
-	}
-	s.metrics.cacheMisses.Add(1)
-	items, scores = sn.rankTopM(sn.scorer, sn.train, u, m)
-	sn.cache.put(key, items, scores)
-	return items, scores, false
-}
