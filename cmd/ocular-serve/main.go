@@ -11,9 +11,15 @@
 //	POST /v1/foldin     {"items": [1,2,3]}        cold-start fold-in + top-M
 //	POST /v1/explain    {"user": 3, "item": 7}    co-cluster rationale
 //	POST /v1/batch      {"users": [1,2,3]}        many users, worker-pool fan-out
+//	POST /v1/ingest     {"user": 3, "items": [7]} append new positives to -feed
 //	POST /v1/reload                                hot-swap the model from -model
 //	GET  /healthz                                  liveness + model version
 //	GET  /metrics                                  request counts, latencies, cache stats
+//
+// With -feed, /v1/ingest appends new positives to the interaction feed
+// that ocular-trainer watches: the trainer retrains warm from the served
+// model, rewrites -model, POSTs /v1/reload back and warms the cache —
+// the full continuous-training loop with no manual step.
 //
 // recommend, batch and foldin additionally accept "exclude_items" (a
 // per-request do-not-recommend list) and, when -items-meta supplies an
@@ -52,6 +58,7 @@ import (
 	ocular "repro"
 
 	"repro/internal/cliutil"
+	"repro/internal/feed"
 	"repro/internal/rank"
 	"repro/internal/serve"
 )
@@ -70,6 +77,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "preset generation seed (must match training)")
 
 		itemsMeta = flag.String("items-meta", "", "item name/tag table (item,name,tag,... lines) enabling \"filter\" requests")
+		feedDir   = flag.String("feed", "", "interaction feed directory enabling POST /v1/ingest (ocular-trainer retrains from it)")
+		maxGrowth = flag.Int("max-ingest-growth", 0, "cap on how far beyond the served catalogue ingested ids may reach (0 = 1<<20)")
 
 		cacheSize   = flag.Int("cache", 4096, "cached top-M lists (negative disables)")
 		cacheShards = flag.Int("cache-shards", 0, "top-M cache shard count, rounded up to a power of two (0 = 16)")
@@ -86,14 +95,15 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		ModelPath:    *modelPath,
-		FoldIn:       ocular.Config{Lambda: *lambda, Relative: *relative},
-		CacheSize:    *cacheSize,
-		CacheShards:  *cacheShards,
-		Workers:      *workers,
-		MaxM:         *maxM,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
+		ModelPath:       *modelPath,
+		FoldIn:          ocular.Config{Lambda: *lambda, Relative: *relative},
+		CacheSize:       *cacheSize,
+		CacheShards:     *cacheShards,
+		Workers:         *workers,
+		MaxM:            *maxM,
+		MaxBatch:        *maxBatch,
+		MaxBodyBytes:    *maxBody,
+		MaxIngestGrowth: *maxGrowth,
 	}
 	if *dataPath != "" || *preset != "" {
 		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)
@@ -102,6 +112,15 @@ func main() {
 		}
 		cfg.Train = d.R
 		log.Printf("exclusion matrix: %v", d)
+	}
+	if *feedDir != "" {
+		fl, err := feed.Open(*feedDir, feed.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fl.Close()
+		cfg.Feed = fl
+		log.Printf("interaction feed: %s (%d positives, %d segments)", *feedDir, fl.Count(), fl.Segments())
 	}
 	if *itemsMeta != "" {
 		// The table's item range is bounded by the served model's
@@ -146,7 +165,8 @@ func main() {
 				log.Printf("reload failed (still serving version %d): %v", srv.Version(), err)
 				continue
 			}
-			log.Printf("reloaded %v (version %d)", srv.Model(), srv.Version())
+			mapped, f32 := srv.ServingMode()
+			log.Printf("reloaded %v (version %d, mapped=%v float32=%v)", srv.Model(), srv.Version(), mapped, f32)
 		}
 	}()
 

@@ -452,3 +452,61 @@ func BenchmarkTrainIteration(b *testing.B) {
 		}
 	}
 }
+
+func TestModelGrow(t *testing.T) {
+	m := smallMatrix(44, 12, 9, 60)
+	res, err := Train(m, Config{K: 4, Lambda: 1, MaxIter: 10, Seed: 5, Bias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := res.Model
+
+	g, err := old.Grow(15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumUsers() != 15 || g.NumItems() != 11 || g.K() != old.K() {
+		t.Fatalf("grown shape K=%d %dx%d", g.K(), g.NumUsers(), g.NumItems())
+	}
+	// Trained rows survive bit for bit; new rows are exactly zero.
+	for u := 0; u < old.NumUsers(); u++ {
+		for c, v := range old.UserFactor(u) {
+			if g.UserFactor(u)[c] != v {
+				t.Fatalf("user %d factor changed by Grow", u)
+			}
+		}
+		if g.UserBias(u) != old.UserBias(u) {
+			t.Fatalf("user %d bias changed by Grow", u)
+		}
+	}
+	for u := old.NumUsers(); u < 15; u++ {
+		for _, v := range g.UserFactor(u) {
+			if v != 0 {
+				t.Fatalf("new user %d factor not zero", u)
+			}
+		}
+	}
+	for i := old.NumItems(); i < 11; i++ {
+		for _, v := range g.ItemFactor(i) {
+			if v != 0 {
+				t.Fatalf("new item %d factor not zero", i)
+			}
+		}
+	}
+	// Determinism: growing twice yields identical factors.
+	g2, err := old.Grow(15, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFactorBits(t, g, g2)
+	// Same shape returns the receiver; shrinking is a documented error.
+	if same, _ := old.Grow(old.NumUsers(), old.NumItems()); same != old {
+		t.Fatal("Grow(same shape) did not return the receiver")
+	}
+	if _, err := old.Grow(old.NumUsers()-1, old.NumItems()); err == nil {
+		t.Fatal("user shrink accepted")
+	}
+	if _, err := old.Grow(old.NumUsers(), old.NumItems()-1); err == nil {
+		t.Fatal("item shrink accepted")
+	}
+}

@@ -125,6 +125,43 @@ func (m *Model) String() string {
 	return fmt.Sprintf("core.Model(K=%d, %d users, %d items)", m.k, m.users, m.items)
 }
 
+// Grow returns a model extended to users × items, the warm-start bridge
+// of the continuous-training pipeline: when the interaction feed brings
+// positives for users or items unseen by the last model, the trained
+// factors are kept verbatim and the new rows start at exactly zero — the
+// deterministic choice, which Train's warm-start jitter then revives with
+// the same seeded perturbation it applies to pruned co-clusters, so a
+// grown warm start remains reproducible for a fixed Config.Seed. Biases,
+// when present, grow the same way. Growing by zero rows returns m itself
+// (models are immutable). Shrinking is refused: dropping trained factor
+// rows would silently forget users and items, so a feed that shrank (or a
+// mismatched base matrix) must be surfaced to the operator instead.
+func (m *Model) Grow(users, items int) (*Model, error) {
+	if users < m.users || items < m.items {
+		return nil, fmt.Errorf("core: cannot grow model %dx%d down to %dx%d: shrinking would drop trained factors",
+			m.users, m.items, users, items)
+	}
+	if users == m.users && items == m.items {
+		return m, nil
+	}
+	g := &Model{
+		k:     m.k,
+		users: users,
+		items: items,
+		fu:    make([]float64, users*m.k),
+		fi:    make([]float64, items*m.k),
+	}
+	copy(g.fu, m.fu)
+	copy(g.fi, m.fi)
+	if m.bu != nil {
+		g.bu = make([]float64, users)
+		g.bi = make([]float64, items)
+		copy(g.bu, m.bu)
+		copy(g.bi, m.bi)
+	}
+	return g, nil
+}
+
 // Objective evaluates the full regularized negative log-likelihood Q
 // (eq. 4 of the paper) of this model on matrix r, with R-OCuLaR user
 // weights when relative is true. Bias terms, when present, are included in

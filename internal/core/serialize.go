@@ -6,8 +6,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fsutil"
 )
 
 // The serialized model format is versioned through the trailing magic
@@ -316,17 +321,61 @@ func (m *Model) WriteToV1(w io.Writer) (int64, error) {
 // model durably at path — never a truncated one, and never a rename that
 // evaporates with the directory's dirty metadata. The temp file is
 // created with mode 0644 (subject to the umask, like a plain create), so
-// a serving process under another user can read the model. Concurrent
-// saves to the same path are not supported — the trainer is the single
-// writer.
+// a serving process under another user can read the model. The temp name
+// carries a per-process, per-call unique suffix, so concurrent saves to
+// the same path (a trainer daemon racing a manual cmd/ocular -save)
+// cannot clobber each other's in-flight bytes; they still race at the
+// rename, where last-writer-wins over complete files is the best either
+// could ask for.
 func (m *Model) SaveModelFile(path string) error {
 	return m.SaveModelFileOpts(path, SaveOptions{})
 }
 
+// saveSeq disambiguates temp files of concurrent saves within one
+// process; the pid disambiguates across processes sharing a directory,
+// and the random component covers processes whose pids collide anyway —
+// two containers both running as pid 1 against a shared volume would
+// otherwise deterministically race on the same temp name.
+var saveSeq atomic.Uint64
+
+// saveTempPath returns a temp-file sibling of path unique to this call.
+func saveTempPath(path string) string {
+	return fmt.Sprintf("%s.tmp.%d.%d.%08x", path, os.Getpid(), saveSeq.Add(1), rand.Uint32())
+}
+
+// staleTempAge is how old a sibling temp file must be before a save
+// sweeps it: long past any live save's write window, so only crash
+// litter qualifies.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps deletes crash litter (model temp files abandoned by a
+// killed writer) next to path. With per-call unique temp names the
+// litter would otherwise accumulate forever — unlike the old fixed
+// ".tmp" name, no later save truncates it implicitly. Only files older
+// than staleTempAge are removed so a concurrent save's in-flight temp
+// (the thing unique names exist to protect) is never swept. Best-effort:
+// errors are ignored, the save itself does not depend on it.
+func sweepStaleTemps(path string) {
+	matches, err := filepath.Glob(path + ".tmp.*")
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		if st, err := os.Stat(m); err == nil && time.Since(st.ModTime()) > staleTempAge {
+			os.Remove(m)
+		}
+	}
+}
+
 // SaveModelFileOpts is SaveModelFile with explicit SaveOptions.
 func (m *Model) SaveModelFileOpts(path string, opts SaveOptions) error {
-	tmpPath := path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	sweepStaleTemps(path)
+	tmpPath := saveTempPath(path)
+	// O_EXCL: a name collision (astronomically unlikely given the random
+	// suffix) must fail loudly rather than risk two writers sharing one
+	// in-flight file. Crash litter is handled by sweepStaleTemps, never
+	// by reclaiming a name that could belong to a live writer.
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
 	}
@@ -358,18 +407,11 @@ func (m *Model) SaveModelFileOpts(path string, opts SaveOptions) error {
 // successful save makes its rename durable.
 var fsyncDir = syncDir
 
-// syncDir fsyncs a directory, making previously-renamed entries durable.
+// syncDir makes previously-renamed entries durable via the shared
+// directory-fsync helper, with this package's error prefix.
 func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
+	if err := fsutil.SyncDir(dir); err != nil {
 		return fmt.Errorf("core: saving model: %w", err)
-	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return fmt.Errorf("core: saving model: syncing directory: %w", err)
 	}
 	return nil
 }

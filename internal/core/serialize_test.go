@@ -6,7 +6,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/linalg"
@@ -369,13 +371,97 @@ func TestSaveModelFileAtomicity(t *testing.T) {
 	if err := model.SaveModelFile(blocked); err == nil {
 		t.Fatal("SaveModelFile over a non-empty directory succeeded")
 	}
-	if _, err := os.Stat(blocked + ".tmp"); !os.IsNotExist(err) {
-		t.Errorf("temp file left behind after failed save: %v", err)
+	if litter, _ := filepath.Glob(blocked + ".tmp*"); len(litter) != 0 {
+		t.Errorf("temp files left behind after failed save: %v", litter)
 	}
 
 	// Unwritable destination directory errors cleanly.
 	if err := model.SaveModelFile(filepath.Join(dir, "no", "such", "dir", "m.bin")); err == nil {
 		t.Fatal("SaveModelFile into a missing directory succeeded")
+	}
+}
+
+// TestSaveTempPathUnique pins the anti-clobber property behind
+// concurrent saves: every call gets its own temp file name, so a trainer
+// daemon and a manual cmd/ocular -save writing the same path can never
+// interleave bytes in one in-flight temp file.
+func TestSaveTempPathUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		p := saveTempPath("/x/model.bin")
+		if seen[p] {
+			t.Fatalf("duplicate temp path %q", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestSaveSweepsOldTempLitter: crash litter from other processes (whose
+// pid+seq a later save never collides with) is swept once it is older
+// than any live save could be; a recent temp file — possibly another
+// process's in-flight save — is left alone.
+func TestSaveSweepsOldTempLitter(t *testing.T) {
+	model := trainedModel(t, false)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	old := path + ".tmp.99999.7"
+	fresh := path + ".tmp.99998.3"
+	for _, p := range []string{old, fresh} {
+		if err := os.WriteFile(p, []byte("litter"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(old, past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Error("stale temp litter survived the save's sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("recent temp file (a possible in-flight save) was swept")
+	}
+}
+
+// TestSaveModelFileConcurrent races many saves of two distinct models to
+// one path; with per-call temp files, the surviving file must always be
+// one of the two complete models, never a hybrid or a truncation.
+func TestSaveModelFileConcurrent(t *testing.T) {
+	a := trainedModel(t, false)
+	b := trainedModel(t, true) // different flags → different bytes
+	path := filepath.Join(t.TempDir(), "model.bin")
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		m := a
+		if i%2 == 1 {
+			m = b
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- m.SaveModelFileOpts(path, SaveOptions{})
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatalf("model at path is not loadable after concurrent saves: %v", err)
+	}
+	if g, wa, wb := got.String(), a.String(), b.String(); g != wa && g != wb {
+		t.Fatalf("loaded model %s is neither contender (%s / %s)", g, wa, wb)
+	}
+	if litter, _ := filepath.Glob(path + ".tmp*"); len(litter) != 0 {
+		t.Errorf("temp files left behind: %v", litter)
 	}
 }
 

@@ -1,0 +1,611 @@
+// Package feed is the interaction log of the continuous-training
+// pipeline: an append-only, checksummed record of new positive examples
+// (user, item pairs) arriving after the served model was trained. The
+// serving layer appends through /v1/ingest; the trainer replays the log,
+// folds it into the training matrix, and retrains.
+//
+// The log is a directory of numbered segment files. Each segment starts
+// with an 8-byte magic and holds fixed-size 12-byte records: user and
+// item as little-endian uint32 followed by a CRC-32 (IEEE) of the two.
+// Appends are batched through a buffered writer and flushed to the OS on
+// every Append call (so same-machine readers see them immediately);
+// durability points are segment rotation, Sync and Close, which fsync.
+// A crash can therefore tear only the tail of the active segment, and
+// only past the last Sync: Open scans the last segment and truncates the
+// tail at the first short or checksum-failing record. Sealed segments
+// (everything but the last) were fsynced by rotation, so a malformed
+// record in one is reported as corruption, not repaired.
+//
+// Replay is idempotent by construction downstream: records are (user,
+// item) positives, and the training matrix builder deduplicates, so
+// replaying a prefix twice or appending the same pair again cannot
+// change the trained model.
+//
+// A log has a single writer process; Open does not lock the directory.
+// Concurrent readers (Replay, Count) are safe from any process.
+package feed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/fsutil"
+)
+
+const (
+	segMagic   = "OCFEED:1"
+	magicSize  = 8
+	recordSize = 12
+	segSuffix  = ".seg"
+)
+
+// MaxID bounds user and item ids, mirroring the model reader's dimension
+// guard: an id at or above MaxID can never index a servable model, so it
+// is rejected at the door rather than poisoning the training matrix.
+const MaxID = 1 << 28
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero: ~5.6M records per segment.
+const DefaultSegmentBytes = 64 << 20
+
+// Event is one logged positive example.
+type Event struct {
+	User, Item uint32
+}
+
+// Options tunes a Log. The zero value uses DefaultSegmentBytes.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is sealed
+	// (fsynced, closed) and a new one started. 0 means
+	// DefaultSegmentBytes; values below one record's worth are rejected.
+	SegmentBytes int64
+}
+
+// Log is the single-writer handle of a feed directory. All methods are
+// safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File      // active segment
+	w      *bufio.Writer // buffers record batches into f
+	size   int64         // bytes in the active segment (including buffered)
+	seq    int           // active segment sequence number
+	count  int64         // records across all segments (including buffered)
+	sealed int           // sealed (rotated) segments
+	closed bool
+	// countSealed is the record count across sealed segments only; the
+	// repair path recomputes count as countSealed plus a rescan of the
+	// active segment.
+	countSealed int64
+	// broken marks a failed write or flush on the active segment: the
+	// bufio error is sticky and an unknown prefix of the batch may have
+	// reached the file, so the next operation re-opens and re-scans the
+	// active segment (truncating any torn tail) instead of wedging every
+	// later append behind one transient ENOSPC.
+	broken bool
+}
+
+// Open opens (creating if needed) the feed log in dir and recovers from a
+// crash: the tail of the last segment is truncated at the first torn or
+// checksum-failing record, so the next Append lands after the last intact
+// one and a replay never observes partial writes.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes == 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SegmentBytes < magicSize+recordSize {
+		return nil, fmt.Errorf("feed: SegmentBytes %d below one record's worth (%d)", opts.SegmentBytes, magicSize+recordSize)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	if len(segs) == 0 {
+		if err := l.startSegment(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Sealed segments were fsynced by rotation; only count them.
+	for _, s := range segs[:len(segs)-1] {
+		n, err := sealedCount(filepath.Join(dir, s.name), s.size)
+		if err != nil {
+			return nil, err
+		}
+		l.count += n
+		l.sealed++
+	}
+	l.countSealed = l.count
+	// The last segment may have a torn tail; scan and truncate.
+	last := segs[len(segs)-1]
+	path := filepath.Join(dir, last.name)
+	good, n, err := scanSegment(path)
+	if err != nil {
+		return nil, err
+	}
+	if good < magicSize {
+		// The crash tore the segment's own magic (created but never
+		// synced); recreate it from scratch.
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("feed: recreating torn segment %s: %w", last.name, err)
+		}
+		if err := l.startSegment(last.seq); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	if good < last.size {
+		if err := os.Truncate(path, good); err != nil {
+			return nil, fmt.Errorf("feed: truncating torn tail of %s: %w", last.name, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.size = good
+	l.seq = last.seq
+	l.count += n
+	return l, nil
+}
+
+// startSegment creates segment seq and installs it as the active one.
+// Caller holds l.mu (or the log is not yet shared).
+func (l *Log) startSegment(seq int) error {
+	f, w, err := l.createSegment(seq)
+	if err != nil {
+		return err
+	}
+	l.f, l.w, l.size, l.seq = f, w, magicSize, seq
+	return nil
+}
+
+// createSegment creates segment seq, writes its magic and makes the file
+// durable in the directory, without touching the log's state — so a
+// failed creation (ENOSPC, a full directory fsync) leaves the current
+// active segment untouched and usable.
+func (l *Log) createSegment(seq int) (*os.File, *bufio.Writer, error) {
+	path := filepath.Join(l.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("feed: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if _, err := w.WriteString(segMagic); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("feed: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("feed: %w", err)
+	}
+	if err := fsutil.SyncDir(l.dir); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("feed: %w", err)
+	}
+	return f, w, nil
+}
+
+// Append logs a batch of events. The batch is buffered and flushed to the
+// operating system before Append returns (readers on the same machine see
+// it); it becomes crash-durable at the next rotation, Sync or Close. The
+// active segment rotates automatically once it reaches SegmentBytes.
+func (l *Log) Append(events ...Event) error {
+	if len(events) == 0 {
+		return nil
+	}
+	for _, e := range events {
+		if e.User >= MaxID || e.Item >= MaxID {
+			return fmt.Errorf("feed: event (%d,%d) exceeds id bound %d", e.User, e.Item, MaxID)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("feed: log is closed")
+	}
+	if err := l.repairLocked(); err != nil {
+		return err
+	}
+	var buf [recordSize]byte
+	for _, e := range events {
+		binary.LittleEndian.PutUint32(buf[0:], e.User)
+		binary.LittleEndian.PutUint32(buf[4:], e.Item)
+		binary.LittleEndian.PutUint32(buf[8:], crc32.ChecksumIEEE(buf[:8]))
+		if _, err := l.w.Write(buf[:]); err != nil {
+			l.broken = true
+			return fmt.Errorf("feed: %w", err)
+		}
+	}
+	if err := l.w.Flush(); err != nil {
+		l.broken = true
+		return fmt.Errorf("feed: %w", err)
+	}
+	// Counters advance only after a successful flush: on failure an
+	// unknown prefix of the batch reached the file, and the repair rescan
+	// (not an optimistic increment) decides what actually counts.
+	l.size += int64(len(events)) * recordSize
+	l.count += int64(len(events))
+	if l.size >= l.opts.SegmentBytes {
+		return l.rotateLocked()
+	}
+	return nil
+}
+
+// repairLocked recovers a writer marked broken: it abandons the current
+// handle, rescans the active segment exactly like Open does (truncating
+// any torn tail the failed writes left), reopens it for append and
+// recomputes the counters. Caller holds l.mu.
+func (l *Log) repairLocked() error {
+	if !l.broken {
+		return nil
+	}
+	l.f.Close() // best effort; the handle is being abandoned either way
+	path := filepath.Join(l.dir, segName(l.seq))
+	good, n, err := scanSegment(path)
+	if err != nil {
+		return fmt.Errorf("feed: repairing after write failure: %w", err)
+	}
+	if good < magicSize {
+		// Even the magic is gone; recreate the segment wholesale.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("feed: repairing after write failure: %w", err)
+		}
+		if err := l.startSegment(l.seq); err != nil {
+			return err
+		}
+		l.count = l.countSealed
+		l.broken = false
+		return nil
+	}
+	if err := os.Truncate(path, good); err != nil {
+		return fmt.Errorf("feed: repairing after write failure: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return fmt.Errorf("feed: repairing after write failure: %w", err)
+	}
+	l.f = f
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	l.size = good
+	l.count = l.countSealed + n
+	l.broken = false
+	return nil
+}
+
+// Sync makes every appended record durable (fsync of the active segment).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("feed: log is closed")
+	}
+	if err := l.repairLocked(); err != nil {
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.broken = true
+		return fmt.Errorf("feed: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("feed: %w", err)
+	}
+	return nil
+}
+
+// Rotate seals the active segment (flush, fsync, close) and starts the
+// next one. Appends after a crash can then only tear the new segment.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("feed: log is closed")
+	}
+	if err := l.repairLocked(); err != nil {
+		return err
+	}
+	return l.rotateLocked()
+}
+
+func (l *Log) rotateLocked() error {
+	if err := l.w.Flush(); err != nil {
+		l.broken = true
+		return fmt.Errorf("feed: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("feed: %w", err)
+	}
+	// Create the next segment before retiring this one: if creation fails
+	// (disk full), the log keeps appending to the current segment and the
+	// next Append retries the rotation — a transient condition must not
+	// leave the log pointing at a closed file.
+	f, w, err := l.createSegment(l.seq + 1)
+	if err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		// The new segment is installed regardless: the old one is synced,
+		// and abandoning the fresh segment over a close error would lose
+		// more than it saves.
+		l.f, l.w, l.size, l.seq = f, w, magicSize, l.seq+1
+		l.sealed++
+		l.countSealed = l.count
+		return fmt.Errorf("feed: closing sealed segment: %w", err)
+	}
+	l.f, l.w, l.size, l.seq = f, w, magicSize, l.seq+1
+	l.sealed++
+	l.countSealed = l.count
+	return nil
+}
+
+// Close flushes, fsyncs and closes the active segment. The log must not
+// be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.repairLocked(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("feed: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("feed: %w", err)
+	}
+	return l.f.Close()
+}
+
+// Count returns the number of records appended across all segments,
+// including records not yet crash-durable.
+func (l *Log) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Segments returns the number of segment files (sealed plus active).
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sealed + 1
+}
+
+// Dir returns the feed directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Replay flushes the writer's buffer and replays every record in the log
+// in append order. It is the in-process variant of the package-level
+// Replay.
+func (l *Log) Replay(fn func(Event) error) (int64, error) {
+	l.mu.Lock()
+	if !l.closed {
+		if err := l.repairLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+		if err := l.w.Flush(); err != nil {
+			l.broken = true
+			l.mu.Unlock()
+			return 0, fmt.Errorf("feed: %w", err)
+		}
+	}
+	l.mu.Unlock()
+	return Replay(l.dir, fn)
+}
+
+// --- Package-level readers (cross-process: the trainer) -----------------
+
+type segInfo struct {
+	name string
+	seq  int
+	size int64
+}
+
+// segments lists the segment files of dir ascending by sequence number.
+func segments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("feed: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		name := e.Name()
+		var seq int
+		if _, err := fmt.Sscanf(name, "%08d.seg", &seq); err != nil || segName(seq) != name {
+			continue // not a segment file
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("feed: %w", err)
+		}
+		segs = append(segs, segInfo{name: name, seq: seq, size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i, s := range segs {
+		if s.seq != i+1 {
+			return nil, fmt.Errorf("feed: segment sequence gap: found %s at position %d", s.name, i)
+		}
+	}
+	return segs, nil
+}
+
+func segName(seq int) string { return fmt.Sprintf("%08d%s", seq, segSuffix) }
+
+// sealedCount validates the framing of a sealed segment and returns its
+// record count. Sealed segments were fsynced before the next was started,
+// so a short or misaligned one is corruption, not a crash artifact.
+func sealedCount(path string, size int64) (int64, error) {
+	if size < magicSize || (size-magicSize)%recordSize != 0 {
+		return 0, fmt.Errorf("feed: sealed segment %s has torn size %d", filepath.Base(path), size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("feed: %w", err)
+	}
+	defer f.Close()
+	if err := checkMagic(f, path); err != nil {
+		return 0, err
+	}
+	return (size - magicSize) / recordSize, nil
+}
+
+func checkMagic(f *os.File, path string) error {
+	var magic [magicSize]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return fmt.Errorf("feed: reading magic of %s: %w", filepath.Base(path), err)
+	}
+	if string(magic[:]) != segMagic {
+		return fmt.Errorf("feed: %s is not a feed segment (magic %q)", filepath.Base(path), magic)
+	}
+	return nil
+}
+
+// scanSegment walks the active segment verifying record checksums and
+// returns the byte offset just past the last intact record plus the
+// intact record count. Records after a tear (short write or checksum
+// mismatch) are ignored; a missing or mangled magic counts as a tear at
+// offset zero, since the magic write itself is only fsynced with the
+// first Sync or rotation.
+func scanSegment(path string) (good int64, records int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("feed: %w", err)
+	}
+	defer f.Close()
+	var magic [magicSize]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
+		return 0, 0, nil
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	good = magicSize
+	var rec [recordSize]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return good, records, nil // short tail (or clean EOF): tear here
+		}
+		if crc32.ChecksumIEEE(rec[:8]) != binary.LittleEndian.Uint32(rec[8:]) {
+			return good, records, nil // checksum tear
+		}
+		good += recordSize
+		records++
+	}
+}
+
+// Replay reads every record of the feed at dir in append order, calling
+// fn for each; a non-nil error from fn aborts the replay. The torn tail
+// of the last segment (a writer crash, or a writer racing the read) is
+// skipped; a torn record in a sealed segment is an error. Returns the
+// number of records delivered.
+func Replay(dir string, fn func(Event) error) (int64, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for si, s := range segs {
+		last := si == len(segs)-1
+		n, err := replaySegment(filepath.Join(dir, s.name), s.size, last, fn)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func replaySegment(path string, size int64, last bool, fn func(Event) error) (int64, error) {
+	if !last && (size < magicSize || (size-magicSize)%recordSize != 0) {
+		return 0, fmt.Errorf("feed: sealed segment %s has torn size %d", filepath.Base(path), size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("feed: %w", err)
+	}
+	defer f.Close()
+	var magic [magicSize]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || string(magic[:]) != segMagic {
+		if last {
+			return 0, nil // the active segment's magic write itself tore
+		}
+		return 0, fmt.Errorf("feed: %s is not a feed segment", filepath.Base(path))
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	var n int64
+	var rec [recordSize]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF || last {
+				return n, nil
+			}
+			return n, fmt.Errorf("feed: torn record in sealed segment %s", filepath.Base(path))
+		}
+		if crc32.ChecksumIEEE(rec[:8]) != binary.LittleEndian.Uint32(rec[8:]) {
+			if last {
+				return n, nil
+			}
+			return n, fmt.Errorf("feed: checksum mismatch in sealed segment %s", filepath.Base(path))
+		}
+		if err := fn(Event{
+			User: binary.LittleEndian.Uint32(rec[0:]),
+			Item: binary.LittleEndian.Uint32(rec[4:]),
+		}); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Events replays the feed at dir into a slice.
+func Events(dir string) ([]Event, error) {
+	var out []Event
+	_, err := Replay(dir, func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// Count estimates the record count of the feed at dir from segment sizes
+// alone — the cheap poll the trainer's retrain trigger runs. It never
+// reads record bytes, so a checksum-failing record in a torn tail is
+// still counted; the replay that follows a triggered retrain is the
+// precise reader. A missing directory counts as empty.
+func Count(dir string) (int64, error) {
+	segs, err := segments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var total int64
+	for _, s := range segs {
+		if s.size > magicSize {
+			total += (s.size - magicSize) / recordSize
+		}
+	}
+	return total, nil
+}

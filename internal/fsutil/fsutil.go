@@ -1,0 +1,28 @@
+// Package fsutil holds the small filesystem-durability helpers shared by
+// the model writer (internal/core) and the interaction feed
+// (internal/feed).
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// SyncDir fsyncs a directory, making previously renamed or created
+// entries durable: without it a crash can roll back a rename (or make a
+// freshly created file vanish) when the directory's dirty metadata is
+// lost.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("syncing directory: %w", err)
+	}
+	return nil
+}

@@ -10,13 +10,14 @@ import (
 	"time"
 
 	"repro/internal/explain"
+	"repro/internal/feed"
 	"repro/internal/parallel"
 	"repro/internal/rank"
 )
 
 // endpointNames registers every instrumented endpoint with Metrics.
 var endpointNames = []string{
-	"recommend", "foldin", "explain", "batch", "reload", "healthz", "metrics",
+	"recommend", "foldin", "explain", "batch", "ingest", "reload", "healthz", "metrics",
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -25,6 +26,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/foldin", s.metrics.instrument("foldin", s.handleFoldIn))
 	mux.HandleFunc("POST /v1/explain", s.metrics.instrument("explain", s.handleExplain))
 	mux.HandleFunc("POST /v1/batch", s.metrics.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/ingest", s.metrics.instrument("ingest", s.handleIngest))
 	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
@@ -221,21 +223,30 @@ type FoldInResponse struct {
 }
 
 // canonicalHistory validates and canonicalizes a fold-in item history:
-// out-of-range items are rejected up front (before any solver work), and
-// the result is sorted and duplicate-free. Canonicalizing makes the
-// response independent of the client's item order and multiplicity — the
-// fold-in solver sums float contributions in history order, so two
-// orderings of the same set would otherwise return factors differing in
-// their low bits — and hands the engine's history-exclusion filter its
-// sorted, deduplicated list directly.
+// negative items are rejected up front (malformed in any catalogue,
+// before any solver work), items at or beyond the served model's
+// catalogue are dropped (with the continuous-training pipeline a client
+// may replay a history containing items ingested but not yet rolled out
+// in a retrained model — those carry no signal for the model being
+// served), and the result is sorted and duplicate-free. Canonicalizing
+// makes the response independent of the client's item order and
+// multiplicity — the fold-in solver sums float contributions in history
+// order, so two orderings of the same set would otherwise return factors
+// differing in their low bits — and hands the engine's history-exclusion
+// filter its sorted, deduplicated list directly. Callers must check for
+// an empty result: folding in an empty history would silently solve a
+// pure-shrinkage zero factor and score every item identically.
 func canonicalHistory(items []int, numItems int) ([]int, error) {
 	hist := make([]int, len(items))
 	copy(hist, items)
 	sort.Ints(hist)
 	uniq := hist[:0]
 	for _, i := range hist {
-		if i < 0 || i >= numItems {
-			return nil, fmt.Errorf("item %d out of range (%d items)", i, numItems)
+		if i < 0 {
+			return nil, fmt.Errorf("item %d is negative", i)
+		}
+		if i >= numItems {
+			break // sorted: everything from here is beyond the catalogue
 		}
 		if len(uniq) > 0 && uniq[len(uniq)-1] == i {
 			continue
@@ -261,6 +272,11 @@ func (s *Server) handleFoldIn(w http.ResponseWriter, r *http.Request) int {
 	history, err := canonicalHistory(req.Items, sn.model.NumItems())
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(history) == 0 {
+		return writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"no history item is within the served catalogue of %d items (a zero-signal fold-in would score every item identically)",
+			sn.model.NumItems()))
 	}
 	filters, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
 	if err != nil {
@@ -414,10 +430,107 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: sn.version})
 }
 
-// ReloadResponse reports the snapshot installed by a reload.
+// IngestEvent is one new positive example to append to the interaction
+// feed. Both fields are pointers for the same reason IngestRequest.User
+// is: an event with a forgotten field must be rejected, not silently
+// logged against user (or item) 0.
+type IngestEvent struct {
+	User *int `json:"user"`
+	Item *int `json:"item"`
+}
+
+// IngestRequest appends new positives to the server's interaction feed —
+// the entry point of the continuous-training pipeline. Either shape (or
+// both) may be used: User+Items logs one user's new interactions, Events
+// logs arbitrary (user, item) pairs. Ids beyond the served model's
+// current catalogue are accepted (they name users and items a future
+// retrained model will cover); negatives and ids at or above feed.MaxID
+// are rejected. User is a pointer so that items sent with the user field
+// forgotten are rejected instead of silently logged against user 0 —
+// misattributed positives would poison every future retrain.
+type IngestRequest struct {
+	User   *int          `json:"user,omitempty"`
+	Items  []int         `json:"items,omitempty"`
+	Events []IngestEvent `json:"events,omitempty"`
+}
+
+// IngestResponse reports the append and the feed's cumulative state, so
+// operators can watch the backlog the trainer's triggers act on.
+type IngestResponse struct {
+	Appended      int   `json:"appended"`
+	FeedPositives int64 `json:"feed_positives"`
+	FeedSegments  int   `json:"feed_segments"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
+	if s.cfg.Feed == nil {
+		return writeError(w, http.StatusServiceUnavailable,
+			"no interaction feed configured (start the server with -feed)")
+	}
+	var req IngestRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(req.Items) > 0 && req.User == nil {
+		return writeError(w, http.StatusBadRequest, "items given without a user to attribute them to")
+	}
+	// New ids may exceed the served catalogue — they name users and items
+	// the next retrained model will cover — but only within the growth
+	// headroom: an absurd id would make the trainer size its matrix (and
+	// factor arrays) up to it.
+	sn := s.snap.Load()
+	maxUser := sn.model.NumUsers() + s.cfg.MaxIngestGrowth
+	maxItem := sn.model.NumItems() + s.cfg.MaxIngestGrowth
+	events := make([]feed.Event, 0, len(req.Items)+len(req.Events))
+	add := func(user, item int) error {
+		switch {
+		case user < 0 || item < 0:
+			return fmt.Errorf("pair (%d,%d) has a negative id", user, item)
+		case user >= maxUser || item >= maxItem:
+			return fmt.Errorf("pair (%d,%d) exceeds the served catalogue (%dx%d) plus the growth headroom of %d",
+				user, item, sn.model.NumUsers(), sn.model.NumItems(), s.cfg.MaxIngestGrowth)
+		case user >= feed.MaxID || item >= feed.MaxID:
+			return fmt.Errorf("pair (%d,%d) outside [0,%d)", user, item, feed.MaxID)
+		}
+		events = append(events, feed.Event{User: uint32(user), Item: uint32(item)})
+		return nil
+	}
+	for _, i := range req.Items {
+		if err := add(*req.User, i); err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error())
+		}
+	}
+	for _, e := range req.Events {
+		if e.User == nil || e.Item == nil {
+			return writeError(w, http.StatusBadRequest, "event missing user or item")
+		}
+		if err := add(*e.User, *e.Item); err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error())
+		}
+	}
+	if len(events) == 0 {
+		return writeError(w, http.StatusBadRequest, "no positives: pass items (with user) and/or events")
+	}
+	if err := s.cfg.Feed.Append(events...); err != nil {
+		return writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return writeJSON(w, http.StatusOK, IngestResponse{
+		Appended:      len(events),
+		FeedPositives: s.cfg.Feed.Count(),
+		FeedSegments:  s.cfg.Feed.Segments(),
+	})
+}
+
+// ReloadResponse reports the snapshot installed by a reload: the new
+// model version plus the serving mode (mmapped? float32 scoring?), so a
+// trainer pushing a rollout confirms the swap landed — and how it is
+// being served — from the reload response alone, without a second
+// /healthz round trip.
 type ReloadResponse struct {
 	ModelVersion uint64 `json:"model_version"`
 	Model        string `json:"model"`
+	Mapped       bool   `json:"mapped"`
+	Float32      bool   `json:"float32"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
@@ -428,19 +541,25 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, ReloadResponse{
 		ModelVersion: sn.version,
 		Model:        sn.model.String(),
+		Mapped:       sn.mapped != nil,
+		Float32:      sn.mapped != nil && sn.mapped.HasFloat32(),
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	sn := s.snap.Load()
-	return writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":        "ok",
 		"model":         sn.model.String(),
 		"model_version": sn.version,
 		"loaded_at":     sn.loadedAt.UTC().Format(time.RFC3339),
 		"mapped":        sn.mapped != nil,
 		"float32":       sn.mapped != nil && sn.mapped.HasFloat32(),
-	})
+	}
+	if s.cfg.Feed != nil {
+		health["feed_positives"] = s.cfg.Feed.Count()
+	}
+	return writeJSON(w, http.StatusOK, health)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/explain"
+	"repro/internal/feed"
 	"repro/internal/linalg"
 	"repro/internal/rank"
 	"repro/internal/sparse"
@@ -1093,5 +1094,310 @@ func BenchmarkReload(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- Continuous-training pipeline: ingest, reload handshake, grown models ---
+
+// TestIngestAppendsToFeed: /v1/ingest writes through to the configured
+// interaction log in both request shapes, and the response reports the
+// cumulative feed state.
+func TestIngestAppendsToFeed(t *testing.T) {
+	feedDir := t.TempDir()
+	log, err := feed.Open(feedDir, feed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	_, ts, model, _ := newTestServer(t, Config{Feed: log})
+
+	var resp IngestResponse
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": 3, "items": []int{1, 2}}, &resp); st != 200 {
+		t.Fatalf("ingest status %d", st)
+	}
+	if resp.Appended != 2 || resp.FeedPositives != 2 {
+		t.Fatalf("ingest response %+v, want 2 appended / 2 total", resp)
+	}
+	// Ids beyond the served catalogue are accepted: they name users/items
+	// a future retrained model will cover.
+	newUser, newItem := model.NumUsers()+10, model.NumItems()+5
+	req := map[string]any{"events": []map[string]int{
+		{"user": newUser, "item": newItem},
+		{"user": 0, "item": 0},
+	}}
+	if st := postJSON(t, ts.URL+"/v1/ingest", req, &resp); st != 200 {
+		t.Fatalf("ingest events status %d", st)
+	}
+	if resp.Appended != 2 || resp.FeedPositives != 4 {
+		t.Fatalf("ingest response %+v, want 2 appended / 4 total", resp)
+	}
+
+	events, err := feed.Events(feedDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []feed.Event{
+		{User: 3, Item: 1},
+		{User: 3, Item: 2},
+		{User: uint32(newUser), Item: uint32(newItem)},
+		{User: 0, Item: 0},
+	}
+	if fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("feed replay = %v, want %v", events, want)
+	}
+
+	// healthz surfaces the feed backlog.
+	var health map[string]any
+	getJSON(t, ts.URL+"/healthz", &health)
+	if got := health["feed_positives"]; got != float64(4) {
+		t.Fatalf("healthz feed_positives = %v, want 4", got)
+	}
+
+	for name, bad := range map[string]map[string]any{
+		"no positives at all":  {},
+		"user without items":   {"user": 3},
+		"items without a user": {"items": []int{1, 2}}, // must not default to user 0
+		"negative user":        {"user": -1, "items": []int{0}},
+		"negative item":        {"user": 0, "items": []int{-2}},
+		"id beyond feed.MaxID": {"events": []map[string]int{{"user": 1 << 29, "item": 0}}},
+		"event missing user":   {"events": []map[string]int{{"item": 61}}}, // must not default to user 0
+		"event missing item":   {"events": []map[string]int{{"user": 61}}},
+	} {
+		if st := postJSON(t, ts.URL+"/v1/ingest", bad, nil); st != 400 {
+			t.Errorf("ingest %s: status %d, want 400", name, st)
+		}
+	}
+	// Nothing from the rejected requests reached the feed.
+	if got := log.Count(); got != 4 {
+		t.Errorf("feed count %d after rejected ingests, want 4", got)
+	}
+}
+
+func TestIngestWithoutFeedRejected(t *testing.T) {
+	_, ts, _, _ := newTestServer(t, Config{})
+	var resp map[string]string
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": 1, "items": []int{2}}, &resp); st != http.StatusServiceUnavailable {
+		t.Fatalf("ingest without feed: status %d, want 503", st)
+	}
+	if !strings.Contains(resp["error"], "feed") {
+		t.Errorf("error %q does not mention the feed", resp["error"])
+	}
+}
+
+func getJSON(t testing.TB, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReloadHandshake: the reload response alone confirms the rollout —
+// new version, serving mode — without a second /healthz round trip.
+func TestReloadHandshake(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{})
+	model2 := trainSmall(t, train, 99)
+	if err := model2.SaveModelFileOpts(srv.cfg.ModelPath, core.SaveOptions{Float32: true}); err != nil {
+		t.Fatal(err)
+	}
+	var resp ReloadResponse
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, &resp); st != 200 {
+		t.Fatalf("reload status %d", st)
+	}
+	if resp.ModelVersion != 2 {
+		t.Errorf("model_version = %d, want 2", resp.ModelVersion)
+	}
+	if !resp.Mapped || !resp.Float32 {
+		t.Errorf("serving mode mapped=%v float32=%v, want both true for a -save-f32 v2 file", resp.Mapped, resp.Float32)
+	}
+	if resp.Model != model2.String() {
+		t.Errorf("model = %q, want %q", resp.Model, model2.String())
+	}
+}
+
+// TestFoldInUnknownItemsDropped is the regression test for the silent
+// zero-vector fold-in: items beyond the served catalogue are dropped from
+// the history (they may be real items ingested but not yet rolled out),
+// and a history left empty by that canonicalization is a clear 400, not a
+// pure-shrinkage factor scoring every item alike. Negative items remain
+// hard errors.
+func TestFoldInUnknownItemsDropped(t *testing.T) {
+	_, ts, model, train := newTestServer(t, Config{})
+	row := train.Row(2)
+	valid := make([]int, len(row))
+	for n, i := range row {
+		valid[n] = int(i)
+	}
+
+	// Mixed history: beyond-catalogue items are dropped, the rest folds in
+	// exactly as if they were never sent.
+	mixed := append([]int{model.NumItems(), model.NumItems() + 7}, valid...)
+	var want, got FoldInResponse
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: valid, M: 5}, &want); st != 200 {
+		t.Fatalf("valid history: status %d", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/foldin", FoldInRequest{Items: mixed, M: 5}, &got); st != 200 {
+		t.Fatalf("mixed history: status %d", st)
+	}
+	if fmt.Sprint(got.Factor) != fmt.Sprint(want.Factor) || fmt.Sprint(got.Items) != fmt.Sprint(want.Items) {
+		t.Error("dropping unknown items changed the fold-in result")
+	}
+
+	// A history with nothing inside the catalogue: 400 with a clear
+	// message, not a silently scored zero vector.
+	var errResp map[string]string
+	st := postJSON(t, ts.URL+"/v1/foldin",
+		FoldInRequest{Items: []int{model.NumItems(), model.NumItems() + 3}, M: 5}, &errResp)
+	if st != 400 {
+		t.Fatalf("all-unknown history: status %d, want 400", st)
+	}
+	if !strings.Contains(errResp["error"], "catalogue") {
+		t.Errorf("error %q does not explain the empty canonicalized history", errResp["error"])
+	}
+}
+
+// TestReloadGrownModel: installing a model larger than the configured
+// exclusion matrix (the trainer grew the catalogue) pads the matrix
+// instead of failing the reload; old users keep their exclusions and the
+// new user/item range serves.
+func TestReloadGrownModel(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{})
+	// Retrain over a grown matrix: two new users, one new item.
+	grown := train.PadTo(train.Rows()+2, train.Cols()+1)
+	b := sparse.NewBuilder(grown.Rows(), grown.Cols())
+	grown.Each(func(r, c int) { b.Add(r, c) })
+	newUser, newItem := train.Rows(), train.Cols()
+	b.Add(newUser, 0)
+	b.Add(newUser, newItem)
+	grown = b.Build()
+	res, err := core.Train(grown, core.Config{K: 8, Lambda: 2, MaxIter: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.SaveModelFile(srv.cfg.ModelPath); err != nil {
+		t.Fatal(err)
+	}
+	var resp ReloadResponse
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, &resp); st != 200 {
+		t.Fatalf("reload of grown model: status %d", st)
+	}
+	if resp.ModelVersion != 2 {
+		t.Fatalf("model_version = %d, want 2", resp.ModelVersion)
+	}
+	// A user beyond the configured matrix serves with no exclusions.
+	var rec RecommendResponse
+	if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: newUser, M: 5}, &rec); st != 200 {
+		t.Fatalf("recommend for grown user: status %d", st)
+	}
+	if len(rec.Items) != 5 || rec.ModelVersion != 2 {
+		t.Fatalf("grown user response %+v", rec)
+	}
+	// An old user's training positives stay excluded.
+	u := 2
+	excluded := make(map[int]bool)
+	for _, i := range train.Row(u) {
+		excluded[int(i)] = true
+	}
+	if st := postJSON(t, ts.URL+"/v1/recommend", RecommendRequest{User: u, M: 10}, &rec); st != 200 {
+		t.Fatalf("recommend for old user: status %d", st)
+	}
+	for _, it := range rec.Items {
+		if excluded[it.Item] {
+			t.Errorf("training positive %d recommended back after grown reload", it.Item)
+		}
+	}
+	// Reloading again at the same grown shape reuses the padded matrix
+	// (and its transpose) instead of rebuilding O(nnz) state per reload.
+	padded := srv.snap.Load().train
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, &resp); st != 200 {
+		t.Fatalf("second grown reload: status %d", st)
+	}
+	if srv.snap.Load().train != padded {
+		t.Error("second reload at the same shape rebuilt the padded exclusion matrix")
+	}
+}
+
+// TestExplainDuringGrownReloadRace fires /v1/explain (which walks the
+// train matrix's columns, i.e. its lazily built transpose) while grown
+// models reload underneath — the padded exclusion matrix is a fresh
+// sparse.Matrix per reload, so install must materialize its transpose
+// before publishing the snapshot. Run with -race.
+func TestExplainDuringGrownReloadRace(t *testing.T) {
+	srv, ts, _, train := newTestServer(t, Config{})
+	grown := trainGrown(t, train, 1)
+	if err := grown.SaveModelFile(srv.cfg.ModelPath); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := postJSON(t, ts.URL+"/v1/explain",
+					ExplainRequest{User: (g*13 + n) % train.Rows(), Item: n % train.Cols()}, nil)
+				if st != 200 {
+					t.Errorf("explain status %d", st)
+					return
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 15; r++ {
+		if err := srv.ReloadFromFile(); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// trainGrown trains a model over train padded by extra users/items.
+func trainGrown(t testing.TB, train *sparse.Matrix, extra int) *core.Model {
+	t.Helper()
+	res, err := core.Train(train.PadTo(train.Rows()+extra, train.Cols()+extra),
+		core.Config{K: 8, Lambda: 2, MaxIter: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model
+}
+
+// TestIngestGrowthHeadroom: ids beyond the served catalogue are accepted
+// only within MaxIngestGrowth — an absurd id would make the trainer size
+// its matrix (and factor rows) up to it.
+func TestIngestGrowthHeadroom(t *testing.T) {
+	log, err := feed.Open(t.TempDir(), feed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	_, ts, model, _ := newTestServer(t, Config{Feed: log, MaxIngestGrowth: 8})
+	nu, ni := model.NumUsers(), model.NumItems()
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": nu + 7, "items": []int{ni + 7}}, nil); st != 200 {
+		t.Errorf("within headroom: status %d, want 200", st)
+	}
+	var errResp map[string]string
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": nu + 8, "items": []int{0}}, &errResp); st != 400 {
+		t.Errorf("user beyond headroom: status %d, want 400", st)
+	} else if !strings.Contains(errResp["error"], "headroom") {
+		t.Errorf("error %q does not mention the growth headroom", errResp["error"])
+	}
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": 0, "items": []int{ni + 8}}, nil); st != 400 {
+		t.Errorf("item beyond headroom: status %d, want 400", st)
+	}
+	if got := log.Count(); got != 1 {
+		t.Errorf("feed count %d, want 1 (only the in-headroom pair)", got)
 	}
 }

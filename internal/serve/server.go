@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/feed"
 	"repro/internal/rank"
 	"repro/internal/sparse"
 )
@@ -38,9 +39,21 @@ type Config struct {
 	ModelPath string
 	// Train, when non-nil, is the training matrix; items a user has a
 	// training positive for are excluded from that user's recommendations,
-	// matching the offline evaluation protocol. Its shape must equal the
-	// model's.
+	// matching the offline evaluation protocol. Its shape must not exceed
+	// the model's; a smaller matrix (the served model was retrained over a
+	// grown catalogue by the continuous-training pipeline) is padded with
+	// exclusion-free rows and columns.
 	Train *sparse.Matrix
+	// Feed, when non-nil, is the interaction log behind POST /v1/ingest:
+	// new positives are appended there for the trainer daemon to fold into
+	// the next retraining cycle. Without it, ingest requests are rejected.
+	// The server does not close the log.
+	Feed *feed.Log
+	// MaxIngestGrowth bounds how far beyond the served model's catalogue
+	// an ingested user or item id may reach (new ids are legitimate — the
+	// next retrained model covers them — but an absurd id would make the
+	// trainer allocate factor rows up to it). 0 means 1<<20.
+	MaxIngestGrowth int
 	// FoldIn supplies the solver settings for /v1/foldin (Lambda,
 	// Relative, MaxIter, ...). K is taken from the model.
 	FoldIn core.Config
@@ -79,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxIngestGrowth == 0 {
+		c.MaxIngestGrowth = 1 << 20
 	}
 	return c
 }
@@ -123,6 +139,13 @@ type Server struct {
 	// file and then install their snapshots in the opposite order, leaving
 	// a stale model served under a newer version number.
 	reloadMu sync.Mutex
+	// paddedTrain caches the exclusion matrix (padded to the served
+	// model's shape, transpose materialized) across reloads: once the
+	// trainer grows the catalogue, every reload would otherwise rebuild
+	// the padded matrix and its O(nnz) transpose even though the shape
+	// rarely changes between rollouts. Guarded by reloadMu (install runs
+	// under it, or single-threaded at construction).
+	paddedTrain *sparse.Matrix
 }
 
 // New builds a Server serving model. The model must match cfg.Train's
@@ -147,6 +170,8 @@ func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server
 		return nil, fmt.Errorf("serve: Workers must be >= 0, got %d", cfg.Workers)
 	case cfg.CacheShards < 0:
 		return nil, fmt.Errorf("serve: CacheShards must be >= 0, got %d", cfg.CacheShards)
+	case cfg.MaxIngestGrowth < 0:
+		return nil, fmt.Errorf("serve: MaxIngestGrowth must be >= 0, got %d", cfg.MaxIngestGrowth)
 	}
 	cfg = cfg.withDefaults()
 	// withDefaults must leave every limit usable; a zero that slipped
@@ -201,13 +226,32 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 		return fmt.Errorf("serve: nil model")
 	}
 	train := s.cfg.Train
-	if train != nil {
-		if train.Rows() != model.NumUsers() || train.Cols() != model.NumItems() {
-			return fmt.Errorf("serve: model shape %dx%d does not match train matrix %dx%d",
-				model.NumUsers(), model.NumItems(), train.Rows(), train.Cols())
-		}
+	if train != nil && (train.Rows() > model.NumUsers() || train.Cols() > model.NumItems()) {
+		return fmt.Errorf("serve: model shape %dx%d does not cover train matrix %dx%d",
+			model.NumUsers(), model.NumItems(), train.Rows(), train.Cols())
+	}
+	if cached := s.paddedTrain; cached != nil &&
+		cached.Rows() == model.NumUsers() && cached.Cols() == model.NumItems() {
+		train = cached
 	} else {
-		train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
+		if train != nil {
+			// A larger model is the continuous-training pipeline at work:
+			// the trainer grew the catalogue past the matrix this server
+			// was started with. Users and items beyond the configured
+			// matrix have no known positives, so padding with
+			// exclusion-free rows is the exact semantics.
+			train = train.PadTo(model.NumUsers(), model.NumItems())
+		} else {
+			train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
+		}
+		// Materialize the transpose before the snapshot is published:
+		// sparse.Matrix builds it lazily and unsynchronized, and
+		// /v1/explain walks columns — two concurrent explains over a
+		// freshly padded matrix would race on the cache. The shape-keyed
+		// cache above makes this (and the padding) a one-off per
+		// catalogue growth, not an O(nnz) tax on every reload.
+		train.Transpose()
+		s.paddedTrain = train
 	}
 	if tags := s.cfg.ItemTags; tags != nil && tags.NumItems() > model.NumItems() {
 		return fmt.Errorf("serve: item tag table covers %d items but the model has %d",

@@ -212,6 +212,29 @@ func (m *Matrix) Col(c int) []int32 {
 	return m.Transpose().Row(c)
 }
 
+// PadTo returns a view of m extended to rows × cols: the same positives,
+// with the added rows empty and the added columns never occupied. The
+// result shares m's column-index storage (both are immutable), so padding
+// costs O(rows), not O(nnz) — the serving layer pads its exclusion matrix
+// up to a freshly retrained, grown model's shape on every reload. PadTo
+// panics if either dimension shrinks; it returns m itself when the shape
+// already matches.
+func (m *Matrix) PadTo(rows, cols int) *Matrix {
+	if rows < m.rows || cols < m.cols {
+		panic(fmt.Sprintf("sparse: PadTo(%d,%d) shrinks %dx%d", rows, cols, m.rows, m.cols))
+	}
+	if rows == m.rows && cols == m.cols {
+		return m
+	}
+	rowPtr := make([]int32, rows+1)
+	copy(rowPtr, m.rowPtr)
+	nnz := m.rowPtr[m.rows]
+	for r := m.rows; r < rows; r++ {
+		rowPtr[r+1] = nnz
+	}
+	return &Matrix{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: m.colIdx}
+}
+
 // Equal reports whether two matrices have identical shape and positives.
 func (m *Matrix) Equal(o *Matrix) bool {
 	if m.rows != o.rows || m.cols != o.cols || len(m.colIdx) != len(o.colIdx) {

@@ -267,3 +267,43 @@ func BenchmarkTranspose(b *testing.B) {
 		_ = m.Transpose()
 	}
 }
+
+func TestPadTo(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1)
+	b.Add(2, 3)
+	m := b.Build()
+
+	p := m.PadTo(5, 6)
+	if p.Rows() != 5 || p.Cols() != 6 {
+		t.Fatalf("shape = %dx%d, want 5x6", p.Rows(), p.Cols())
+	}
+	if p.NNZ() != m.NNZ() {
+		t.Fatalf("nnz = %d, want %d", p.NNZ(), m.NNZ())
+	}
+	if !p.Has(0, 1) || !p.Has(2, 3) {
+		t.Fatal("positives lost by padding")
+	}
+	for r := 3; r < 5; r++ {
+		if p.RowNNZ(r) != 0 {
+			t.Fatalf("padded row %d has %d positives", r, p.RowNNZ(r))
+		}
+	}
+	// Transpose of the padded view covers the padded columns.
+	if got := p.Transpose().Rows(); got != 6 {
+		t.Fatalf("transpose rows = %d, want 6", got)
+	}
+	if p.ColNNZ(5) != 0 {
+		t.Fatal("padded column has positives")
+	}
+	// Same shape returns the receiver; shrinking panics.
+	if m.PadTo(3, 4) != m {
+		t.Fatal("PadTo(same shape) did not return the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PadTo shrink did not panic")
+		}
+	}()
+	m.PadTo(2, 4)
+}

@@ -1,0 +1,582 @@
+// Package trainer is the offline half of the continuous-training
+// pipeline: a retrain loop that watches the interaction feed
+// (internal/feed), decides when a new model is worth building, trains it
+// warm from the last one, and rolls it out to a running serve process.
+//
+// One cycle is: replay the feed → fold the events into the base training
+// matrix (growing it when new users or items appeared) → warm-start from
+// the previous model via core.Model.Grow + Config.WarmStart → train →
+// save a format-v2 artifact with core.SaveModelFileOpts → POST
+// /v1/reload on the server and confirm through the versioned handshake
+// that the swap landed → warm the server's rank cache for the hottest
+// users by driving /v1/batch.
+//
+// Cycles are idempotent downstream of the feed: the full feed is
+// replayed every time and the sparse builder deduplicates, so a replay
+// of the same records — after a crash, a torn-tail truncation, or a
+// redundant ingest — folds into the same training matrix. The catalogue
+// never shrinks across warm-started cycles: the trained matrix covers
+// the base matrix, every feed event and the previous model, and
+// core.Model.Grow refuses shrinking outright.
+//
+// Retraining triggers are configurable: a backlog threshold
+// (MinNewPositives) for busy feeds, and an elapsed-time trigger
+// (MaxInterval) that retrains a trickle of positives that would never
+// reach the threshold. The poll between triggers costs only a directory
+// stat (feed.Count); the precise replay happens inside a triggered
+// cycle.
+package trainer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/feed"
+	"repro/internal/sparse"
+)
+
+// Config tunes a Trainer. FeedDir, ModelPath and Train.K are required.
+type Config struct {
+	// FeedDir is the interaction feed directory the trainer replays and
+	// polls. The trainer only reads it; the serving process (or any other
+	// single writer) appends.
+	FeedDir string
+	// Base, when non-nil, is the original training matrix the feed grows
+	// on top of. Without it, the matrix is built from feed events alone.
+	Base *sparse.Matrix
+	// Train supplies the OCuLaR hyper-parameters and solver settings of
+	// every cycle. WarmStart is overwritten each cycle with the previous
+	// model; K must match a pre-existing model at ModelPath.
+	Train core.Config
+	// ModelPath is where trained models are saved (the file the server
+	// reloads from). A loadable model already at this path seeds the
+	// first cycle's warm start.
+	ModelPath string
+	// Save picks the artifact options (Float32 adds the half-bandwidth
+	// scoring section).
+	Save core.SaveOptions
+	// ServerURL, when non-empty, is the serve process to roll new models
+	// out to (e.g. "http://localhost:8080"): after every save the trainer
+	// POSTs /v1/reload there and verifies the returned model version
+	// strictly advanced.
+	ServerURL string
+	// MaxGrowth bounds how far beyond the known catalogue (base matrix,
+	// previous model) one cycle may grow the training matrix; feed events
+	// naming larger ids are skipped (and logged), not trained. Without the
+	// bound a single absurd-id event in the append-only feed would make
+	// every retry allocate factor rows up to it — a permanent crash loop.
+	// The serving layer enforces the same headroom at ingest; this guard
+	// covers feeds written by anything else. 0 means 1<<20.
+	MaxGrowth int
+	// MinNewPositives triggers a retrain once the feed backlog since the
+	// last cycle reaches this count. 0 means 1 (retrain on any news).
+	MinNewPositives int
+	// MaxInterval, when positive, triggers a retrain whenever any backlog
+	// exists and this much time has passed since the last cycle — the
+	// trickle path for feeds too quiet to reach MinNewPositives.
+	MaxInterval time.Duration
+	// PollInterval is the trigger evaluation period of Run. 0 means 5s.
+	PollInterval time.Duration
+	// WarmCacheUsers, when positive, warms the server's rank cache after
+	// a confirmed rollout by requesting top-M lists for that many of the
+	// hottest users (most training positives) through /v1/batch.
+	WarmCacheUsers int
+	// WarmCacheM is the list length of cache-warming requests. 0 means 10.
+	WarmCacheM int
+	// HTTPClient overrides the http.Client used for rollout and cache
+	// warming (tests; custom timeouts). Nil means a 30s-timeout client.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives progress lines (cmd/ocular-trainer
+	// wires log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGrowth == 0 {
+		c.MaxGrowth = 1 << 20
+	}
+	if c.MinNewPositives == 0 {
+		c.MinNewPositives = 1
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 5 * time.Second
+	}
+	if c.WarmCacheM == 0 {
+		c.WarmCacheM = 10
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Cycle reports what one retraining cycle did.
+type Cycle struct {
+	// FeedPositives is the number of feed records replayed (the whole
+	// feed, not just the backlog); NewPositives is how many of them
+	// arrived since the previous cycle of this trainer.
+	FeedPositives int64
+	NewPositives  int64
+	// Users, Items and NNZ describe the trained matrix.
+	Users, Items, NNZ int
+	// WarmStarted reports that training was initialized from the previous
+	// model (first cycle: the model found at ModelPath); Grown that the
+	// warm-start factors were extended for new users or items.
+	WarmStarted bool
+	Grown       bool
+	// Iterations and Converged come from the training result.
+	Iterations int
+	Converged  bool
+	// SkippedEvents counts feed events dropped by the MaxGrowth guard.
+	SkippedEvents int64
+	// RetrainSkipped reports that the cycle reused the already-saved
+	// artifact (the feed had not changed since it was trained) and only
+	// retried the rollout — the cheap path after a failed push.
+	RetrainSkipped bool
+	// ServerVersion is the model version the server confirmed in the
+	// reload handshake (0 when no ServerURL is configured); Mapped and
+	// ServedFloat32 echo the confirmed serving mode.
+	ServerVersion uint64
+	Mapped        bool
+	ServedFloat32 bool
+	// CacheWarmed is the number of hot users whose top-M lists were
+	// ranked into the server's cache after the rollout.
+	CacheWarmed int
+	Duration    time.Duration
+}
+
+// Trainer runs retraining cycles. Methods must not be called
+// concurrently; run one trainer per model path.
+type Trainer struct {
+	cfg  Config
+	last *core.Model // warm-start source; nil until a model exists
+	// lastCount is the feed size at the last completed cycle, in
+	// feed.Count's size-based estimate — deliberately the same estimator
+	// the Run trigger polls with, so a permanently torn record (counted
+	// by the estimate, skipped by the precise replay) cannot create a
+	// phantom backlog that retrains forever.
+	lastCount int64
+	lastCycle time.Time
+	// savedEvents (precise replay count) and savedEstimate (feed.Count
+	// units) record the feed state the artifact at ModelPath was trained
+	// over; rolloutPending marks a saved model whose push to the server
+	// has not been confirmed yet. A retry cycle over an unchanged feed
+	// (estimates match) then skips the replay, the fold and the retrain
+	// entirely and only repeats the rollout, using hotUsers — the
+	// cache-warming list computed when the model was trained — in place
+	// of a rebuilt matrix.
+	savedEvents    int64
+	savedEstimate  int64
+	rolloutPending bool
+	hotUsers       []int
+}
+
+// New builds a Trainer. A loadable model at cfg.ModelPath becomes the
+// first cycle's warm start; a missing file means the first cycle trains
+// cold (and every later one warm).
+func New(cfg Config) (*Trainer, error) {
+	switch {
+	case cfg.FeedDir == "":
+		return nil, fmt.Errorf("trainer: FeedDir is required")
+	case cfg.ModelPath == "":
+		return nil, fmt.Errorf("trainer: ModelPath is required")
+	case cfg.Train.K < 1:
+		return nil, fmt.Errorf("trainer: Train.K must be >= 1, got %d", cfg.Train.K)
+	case cfg.MinNewPositives < 0:
+		return nil, fmt.Errorf("trainer: MinNewPositives must be >= 0, got %d", cfg.MinNewPositives)
+	case cfg.MaxInterval < 0:
+		return nil, fmt.Errorf("trainer: MaxInterval must be >= 0, got %v", cfg.MaxInterval)
+	case cfg.WarmCacheUsers < 0:
+		return nil, fmt.Errorf("trainer: WarmCacheUsers must be >= 0, got %d", cfg.WarmCacheUsers)
+	case cfg.MaxGrowth < 0:
+		return nil, fmt.Errorf("trainer: MaxGrowth must be >= 0, got %d", cfg.MaxGrowth)
+	}
+	cfg = cfg.withDefaults()
+	// The trainer only reads the feed, but the ingest writer may not have
+	// started yet (or may never, in -once mode); an existing empty
+	// directory makes replays of a not-yet-written feed well-defined.
+	if err := os.MkdirAll(cfg.FeedDir, 0o755); err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	t := &Trainer{cfg: cfg, lastCycle: time.Now()}
+	switch m, err := core.LoadModelFile(cfg.ModelPath); {
+	case err == nil:
+		if m.K() != cfg.Train.K {
+			return nil, fmt.Errorf("trainer: model at %s has K=%d but Train.K=%d", cfg.ModelPath, m.K(), cfg.Train.K)
+		}
+		if m.HasBias() && !t.cfg.Train.Bias {
+			// core.Train's warm start would silently drop the bias terms
+			// (it only validates the opposite mismatch); retraining must
+			// not quietly degrade a bias-enabled served model.
+			t.cfg.Train.Bias = true
+			cfg.Logf("warm-start model carries bias terms; enabling Config.Bias for retraining")
+		}
+		t.last = m
+		cfg.Logf("warm-start source: %v from %s", m, cfg.ModelPath)
+	case errors.Is(err, os.ErrNotExist):
+		cfg.Logf("no model at %s yet; first cycle trains cold", cfg.ModelPath)
+	default:
+		return nil, fmt.Errorf("trainer: loading warm-start model: %w", err)
+	}
+	return t, nil
+}
+
+// RunOnce executes one unconditional retraining cycle: replay, fold,
+// warm-start, train, save, and — when a server is configured — roll out
+// and warm its cache. Triggers are not consulted; Run is the loop that
+// consults them.
+func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
+	start := time.Now()
+	// Snapshot the trigger estimator before the replay: lastCount must be
+	// in feed.Count's units (so a torn-but-counted record cannot leave a
+	// phantom backlog) and from before training starts (so events
+	// arriving mid-cycle still show as backlog at the next poll instead
+	// of being silently absorbed untrained).
+	estimate, estErr := feed.Count(t.cfg.FeedDir)
+	cy := &Cycle{}
+
+	if t.rolloutPending && t.last != nil && estErr == nil && estimate == t.savedEstimate {
+		// The artifact at ModelPath already covers this feed (nothing was
+		// appended since it was trained); the only thing that failed last
+		// time was the push. Skip the replay, the fold and the retrain
+		// and retry the rollout alone — otherwise an hour of serve
+		// downtime would mean an hour of back-to-back full replays and
+		// trainings of identical models, one per poll tick.
+		cy.FeedPositives = t.savedEvents
+		cy.RetrainSkipped = true
+		cy.WarmStarted = true
+		cy.Users, cy.Items = t.last.NumUsers(), t.last.NumItems()
+		t.cfg.Logf("feed unchanged since the last save; retrying rollout without retraining")
+	} else {
+		events, err := feed.Events(t.cfg.FeedDir)
+		if err != nil {
+			return nil, err
+		}
+		cy.FeedPositives = int64(len(events))
+		cy.NewPositives = int64(len(events)) - t.lastCount
+
+		m, skipped := t.buildMatrix(events)
+		if m.Rows() == 0 || m.Cols() == 0 {
+			return nil, fmt.Errorf("trainer: nothing to train on (no base matrix, empty feed)")
+		}
+		cy.Users, cy.Items, cy.NNZ, cy.SkippedEvents = m.Rows(), m.Cols(), m.NNZ(), skipped
+		if skipped > 0 {
+			t.cfg.Logf("skipped %d feed events beyond the MaxGrowth headroom of %d", skipped, t.cfg.MaxGrowth)
+		}
+
+		trainCfg := t.cfg.Train
+		if t.last != nil {
+			warm, err := t.last.Grow(m.Rows(), m.Cols())
+			if err != nil {
+				return nil, fmt.Errorf("trainer: warm start: %w", err)
+			}
+			cy.WarmStarted = true
+			cy.Grown = warm != t.last
+			trainCfg.WarmStart = warm
+		}
+		t.cfg.Logf("training on %v (warm=%v grown=%v, %d feed positives)", m, cy.WarmStarted, cy.Grown, len(events))
+		res, err := core.Train(m, trainCfg)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		cy.Iterations, cy.Converged = res.Iterations(), res.Converged
+
+		if err := res.Model.SaveModelFileOpts(t.cfg.ModelPath, t.cfg.Save); err != nil {
+			return nil, err
+		}
+		t.last = res.Model
+		t.savedEvents = int64(len(events))
+		t.savedEstimate = estimate
+		if estErr != nil {
+			t.savedEstimate = -1 // unknown: never matches, retries retrain
+		}
+		t.rolloutPending = t.cfg.ServerURL != ""
+		if t.cfg.WarmCacheUsers > 0 {
+			t.hotUsers = hottestUsers(m, t.cfg.WarmCacheUsers)
+		}
+	}
+
+	if t.cfg.ServerURL != "" {
+		if err := t.rollout(ctx, cy); err != nil {
+			// The backlog markers deliberately stay put: Run's next poll
+			// still sees the backlog and retries (the cheap
+			// rollout-only path above) until the push lands. Advancing
+			// them here would strand the saved model unserved until
+			// unrelated positives arrived.
+			return cy, err
+		}
+		t.rolloutPending = false
+	}
+	if estErr == nil {
+		t.lastCount = estimate
+	} else {
+		t.lastCount = cy.FeedPositives
+	}
+	t.lastCycle = time.Now()
+	cy.Duration = time.Since(start)
+	t.cfg.Logf("cycle done in %v: %v, %d iterations (converged=%v), server version %d, %d cache lists warmed",
+		cy.Duration.Round(time.Millisecond), t.last, cy.Iterations, cy.Converged, cy.ServerVersion, cy.CacheWarmed)
+	return cy, nil
+}
+
+// buildMatrix folds the feed events into the base matrix. The shape
+// covers the base, every admitted event and the previous model — the
+// catalogue never shrinks across cycles — and the builder's
+// deduplication makes replays idempotent. Events growing the catalogue
+// beyond MaxGrowth over its known extent are skipped and counted, never
+// trained: the feed is append-only, so an absurd id admitted once would
+// poison every future replay.
+func (t *Trainer) buildMatrix(events []feed.Event) (*sparse.Matrix, int64) {
+	rows, cols := 0, 0
+	if t.cfg.Base != nil {
+		rows, cols = t.cfg.Base.Rows(), t.cfg.Base.Cols()
+	}
+	if t.last != nil {
+		rows = max(rows, t.last.NumUsers())
+		cols = max(cols, t.last.NumItems())
+	}
+	maxUser, maxItem := rows+t.cfg.MaxGrowth, cols+t.cfg.MaxGrowth
+	var skipped int64
+	admitted := events[:0:0]
+	for _, e := range events {
+		if int(e.User) >= maxUser || int(e.Item) >= maxItem {
+			skipped++
+			continue
+		}
+		admitted = append(admitted, e)
+		rows = max(rows, int(e.User)+1)
+		cols = max(cols, int(e.Item)+1)
+	}
+	b := sparse.NewBuilder(rows, cols)
+	if t.cfg.Base != nil {
+		t.cfg.Base.Each(b.Add)
+	}
+	for _, e := range admitted {
+		b.Add(int(e.User), int(e.Item))
+	}
+	return b.Build(), skipped
+}
+
+// rollout pushes the saved model to the server, verifies the versioned
+// reload handshake, and warms the rank cache for the hottest users
+// (t.hotUsers, computed when the model was trained).
+func (t *Trainer) rollout(ctx context.Context, cy *Cycle) error {
+	resp, err := t.pushReload(ctx)
+	if err != nil {
+		return err
+	}
+	cy.ServerVersion, cy.Mapped, cy.ServedFloat32 = resp.ModelVersion, resp.Mapped, resp.Float32
+	t.cfg.Logf("rollout confirmed: server at version %d (%s, mapped=%v float32=%v)",
+		resp.ModelVersion, resp.Model, resp.Mapped, resp.Float32)
+	if len(t.hotUsers) > 0 {
+		warmed, err := t.warmCache(ctx)
+		cy.CacheWarmed = warmed
+		if err != nil {
+			// Warming is an optimization on top of a rollout that already
+			// landed; failing the cycle here would make Run retrain and
+			// re-push the same model every trigger (wiping the very cache
+			// being warmed each time). Log and move on.
+			t.cfg.Logf("cache warm failed (rollout already confirmed): %v", err)
+		}
+	}
+	return nil
+}
+
+// reloadResponse mirrors serve.ReloadResponse.
+type reloadResponse struct {
+	ModelVersion uint64 `json:"model_version"`
+	Model        string `json:"model"`
+	Mapped       bool   `json:"mapped"`
+	Float32      bool   `json:"float32"`
+}
+
+// pushReload runs the versioned reload handshake: observe the server's
+// current model version, POST /v1/reload, and require the response to
+// show a strictly newer version — proving the swap landed rather than
+// silently re-serving a stale snapshot. Comparing against the version
+// observed immediately before the push (not a counter kept across
+// cycles) keeps the handshake correct when the serve process restarts
+// and its version counter resets.
+func (t *Trainer) pushReload(ctx context.Context) (reloadResponse, error) {
+	before, err := t.serverVersion(ctx)
+	if err != nil {
+		return reloadResponse{}, fmt.Errorf("trainer: rollout: %w", err)
+	}
+	var out reloadResponse
+	if err := t.postJSON(ctx, "/v1/reload", nil, &out); err != nil {
+		return out, fmt.Errorf("trainer: rollout: %w", err)
+	}
+	if out.ModelVersion <= before {
+		return out, fmt.Errorf("trainer: rollout not confirmed: server version %d did not advance past %d",
+			out.ModelVersion, before)
+	}
+	return out, nil
+}
+
+// serverVersion reads the served model version from /healthz.
+func (t *Trainer) serverVersion(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.ServerURL+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/healthz: HTTP %d", resp.StatusCode)
+	}
+	var health struct {
+		ModelVersion uint64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
+		return 0, err
+	}
+	return health.ModelVersion, nil
+}
+
+// warmCache drives the server's ranking engine for the hottest users so
+// the first organic requests after a rollout hit a full cache instead of
+// all missing at once (every reload installs a fresh, empty cache). Hot
+// users are those with the most training positives — the users likeliest
+// to be requested, and the rows whose exclusion filters make ranking
+// most expensive. Returns how many users were warmed.
+func (t *Trainer) warmCache(ctx context.Context) (int, error) {
+	users := t.hotUsers
+	warmed := 0
+	// Chunk well below serve's default 1024-user batch cap.
+	const chunk = 256
+	for lo := 0; lo < len(users); lo += chunk {
+		batch := users[lo:min(lo+chunk, len(users))]
+		req := map[string]any{"users": batch, "m": t.cfg.WarmCacheM}
+		var resp struct {
+			Results []struct {
+				Error string `json:"error"`
+			} `json:"results"`
+		}
+		if err := t.postJSON(ctx, "/v1/batch", req, &resp); err != nil {
+			return warmed, fmt.Errorf("trainer: cache warm: %w", err)
+		}
+		for _, r := range resp.Results {
+			if r.Error == "" {
+				warmed++
+			}
+		}
+	}
+	t.cfg.Logf("cache warmed for %d/%d hot users", warmed, len(users))
+	return warmed, nil
+}
+
+// hottestUsers returns up to n users by descending training-positive
+// count (ties broken by index for determinism), skipping empty rows.
+func hottestUsers(m *sparse.Matrix, n int) []int {
+	users := make([]int, 0, m.Rows())
+	for u := 0; u < m.Rows(); u++ {
+		if m.RowNNZ(u) > 0 {
+			users = append(users, u)
+		}
+	}
+	sort.Slice(users, func(i, j int) bool {
+		ni, nj := m.RowNNZ(users[i]), m.RowNNZ(users[j])
+		if ni != nj {
+			return ni > nj
+		}
+		return users[i] < users[j]
+	})
+	if len(users) > n {
+		users = users[:n]
+	}
+	return users
+}
+
+// postJSON POSTs body (nil for empty) to the server and decodes the
+// response into out, surfacing the server's {"error": ...} payload on
+// non-200 statuses.
+func (t *Trainer) postJSON(ctx context.Context, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.cfg.ServerURL+path, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Run polls the feed every PollInterval and retrains when a trigger
+// fires, until ctx is cancelled (which returns nil). Cycle errors are
+// logged and retried at the next trigger, not fatal: a serve process
+// restarting mid-rollout must not kill the trainer daemon.
+func (t *Trainer) Run(ctx context.Context) error {
+	ticker := time.NewTicker(t.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			n, err := feed.Count(t.cfg.FeedDir)
+			if err != nil {
+				t.cfg.Logf("feed poll: %v", err)
+				continue
+			}
+			if !t.due(n - t.lastCount) {
+				continue
+			}
+			if _, err := t.RunOnce(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				t.cfg.Logf("cycle failed (will retry): %v", err)
+			}
+		}
+	}
+}
+
+// due decides whether a backlog of newN positives triggers a retrain.
+func (t *Trainer) due(newN int64) bool {
+	if newN <= 0 {
+		return false // nothing new: retraining would rebuild the same model
+	}
+	if newN >= int64(t.cfg.MinNewPositives) {
+		return true
+	}
+	return t.cfg.MaxInterval > 0 && time.Since(t.lastCycle) >= t.cfg.MaxInterval
+}
