@@ -1,0 +1,138 @@
+// Command ocular-router fronts a sharded serving tier: item-partitioned
+// ocular-serve shard processes (started with -shard-lo/-shard-hi) behind
+// one scatter-gather endpoint speaking the single-process API.
+//
+//	ocular-serve -model model.bin -shard-lo 0    -shard-hi 5000 -addr :8081 &
+//	ocular-serve -model model.bin -shard-lo 5000 -shard-hi -1   -addr :8082 &
+//	ocular-router -shards http://localhost:8081,http://localhost:8082 -addr :8080
+//
+// Endpoints (JSON request/response):
+//
+//	POST /v1/recommend   {"user": 3, "m": 10}  top-M, bit-identical to one full server
+//	POST /v1/batch       {"users": [1,2,3]}    many users, worker-pool fan-out
+//	POST /v1/admin/flip                         re-read shard versions/ranges (trainer rollout)
+//	GET  /healthz                               route table: epoch, shard versions, ranges
+//	GET  /metrics                               scatter, hedge, cache and error counters
+//
+// The router owns the top-M cache and singleflight (shards are
+// cacheless); every scatter pins each shard to the model version in the
+// current route table, so partials of different model versions can never
+// be merged — during a trainer rollout, shards serve pinned requests
+// from their previous snapshot until the trainer flips the table.
+//
+// Shard failures fail requests closed (502) by default; -allow-degraded
+// instead merges the surviving shards' partials and marks the response
+// "degraded" (degraded lists are never cached). -hedge launches a second
+// attempt against a slow shard after the given delay.
+//
+// At startup the router retries the initial shard refresh until -startup
+// elapses, so shards and router can start in any order; SIGINT/SIGTERM
+// drain connections and exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ocular-router: ")
+	var (
+		shards = flag.String("shards", "", "comma-separated shard base URLs (required)")
+		addr   = flag.String("addr", ":8080", "listen address")
+
+		cacheSize   = flag.Int("cache", 4096, "cached merged top-M lists (negative disables)")
+		cacheShards = flag.Int("cache-shards", 0, "cache shard count, rounded up to a power of two (0 = 16)")
+		workers     = flag.Int("workers", 0, "batch fan-out workers (0 = all cores)")
+		maxM        = flag.Int("max-m", 1000, "cap on requested list length m (must not exceed the shards' -max-m)")
+		maxBatch    = flag.Int("max-batch", 1024, "cap on users per /v1/batch request")
+		maxBody     = flag.Int64("max-body", 0, "cap on request body bytes (0 = 1 MiB)")
+
+		maxFanout     = flag.Int("max-fanout", 0, "concurrent shard calls per request (0 = all shards)")
+		timeout       = flag.Duration("timeout", 2*time.Second, "per-attempt shard call deadline")
+		hedge         = flag.Duration("hedge", 0, "launch a second attempt against a slow shard after this delay (0 = off)")
+		allowDegraded = flag.Bool("allow-degraded", false, "serve from surviving shards when others fail (responses marked \"degraded\") instead of failing closed")
+		startup       = flag.Duration("startup", 30*time.Second, "how long to retry the initial shard refresh before giving up")
+	)
+	flag.Parse()
+	if *shards == "" {
+		log.Fatal("pass -shards URL1,URL2,... (start shards with: ocular-serve -model model.bin -shard-lo L -shard-hi H)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+
+	rt, err := cluster.New(cluster.Config{
+		Shards:        urls,
+		MaxM:          *maxM,
+		MaxBatch:      *maxBatch,
+		MaxBodyBytes:  *maxBody,
+		CacheSize:     *cacheSize,
+		CacheShards:   *cacheShards,
+		Workers:       *workers,
+		MaxFanout:     *maxFanout,
+		Timeout:       *timeout,
+		HedgeDelay:    *hedge,
+		AllowDegraded: *allowDegraded,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Retry the initial refresh so shards and router may start in any
+	// order; serving 503s past -startup would only hide a dead tier.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	deadline := time.Now().Add(*startup)
+	for {
+		epoch, err := rt.Refresh(ctx)
+		if err == nil {
+			log.Printf("routing %d shards on %s (epoch %d)", len(urls), *addr, epoch)
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			log.Fatalf("no route table after %v: %v", *startup, err)
+		}
+		log.Printf("waiting for shards: %v", err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			log.Fatal("interrupted before the shard tier came up")
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down (draining in-flight requests)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatal(err)
+	}
+	fmt.Println("bye")
+}

@@ -41,6 +41,12 @@
 // SIGHUP (or POST /v1/reload) re-reads -model and atomically swaps it in
 // without dropping in-flight requests; SIGINT/SIGTERM drain connections and
 // exit.
+//
+// With -shard-lo/-shard-hi the process becomes one shard of the sharded
+// serving tier: it mmaps only its item range of the model and serves
+// POST /v1/shard/topm partials (plus /v1/reload, /healthz, /metrics) for
+// cmd/ocular-router to scatter-gather. -shard-hi -1 means "through the
+// end of the catalogue". See the README's "Sharded serving" section.
 package main
 
 import (
@@ -88,10 +94,17 @@ func main() {
 		maxBody     = flag.Int64("max-body", 0, "cap on request body bytes (0 = 1 MiB)")
 		lambda      = flag.Float64("lambda", 5, "fold-in l2 regularization weight")
 		relative    = flag.Bool("relative", false, "fold-in uses the R-OCuLaR objective")
+
+		shardLo = flag.Int("shard-lo", 0, "shard mode: first item (inclusive) of the served partition")
+		shardHi = flag.Int("shard-hi", 0, "shard mode: item upper bound (exclusive; -1 = end of catalogue; 0 = full-catalogue mode)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
 		log.Fatal("pass -model FILE (train one with: ocular -preset small -save model.bin)")
+	}
+	shardMode := *shardHi != 0
+	if shardMode && *feedDir != "" {
+		log.Fatal("-feed is incompatible with shard mode (run ingest on a full server; shards are stateless)")
 	}
 
 	cfg := serve.Config{
@@ -113,12 +126,13 @@ func main() {
 		cfg.Train = d.R
 		log.Printf("exclusion matrix: %v", d)
 	}
+	var fl *feed.Log
 	if *feedDir != "" {
-		fl, err := feed.Open(*feedDir, feed.Options{})
+		var err error
+		fl, err = feed.Open(*feedDir, feed.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer fl.Close()
 		cfg.Feed = fl
 		log.Printf("interaction feed: %s (%d positives, %d segments)", *feedDir, fl.Count(), fl.Segments())
 	}
@@ -138,17 +152,28 @@ func main() {
 		log.Printf("item metadata: %d tags over %d items", tags.NumTags(), tags.NumItems())
 	}
 
-	srv, err := serve.NewFromFile(cfg)
-	if err != nil {
-		log.Fatal(err)
+	var srv *serve.Server
+	var err error
+	if shardMode {
+		cfg.ShardLo, cfg.ShardHi = *shardLo, *shardHi
+		srv, err = serve.NewShardFromFile(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving item shard [%d,%d) on %s (mmap; merge through ocular-router)", *shardLo, *shardHi, *addr)
+	} else {
+		srv, err = serve.NewFromFile(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "copy (legacy v1 file; re-save with ocular -save for O(1) reloads)"
+		if mapped, f32 := srv.ServingMode(); mapped && f32 {
+			mode = "mmap, float32 scoring"
+		} else if mapped {
+			mode = "mmap, float64 scoring"
+		}
+		log.Printf("serving %v on %s (%s)", srv.Model(), *addr, mode)
 	}
-	mode := "copy (legacy v1 file; re-save with ocular -save for O(1) reloads)"
-	if mapped, f32 := srv.ServingMode(); mapped && f32 {
-		mode = "mmap, float32 scoring"
-	} else if mapped {
-		mode = "mmap, float64 scoring"
-	}
-	log.Printf("serving %v on %s (%s)", srv.Model(), *addr, mode)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -165,12 +190,32 @@ func main() {
 				log.Printf("reload failed (still serving version %d): %v", srv.Version(), err)
 				continue
 			}
+			if shardMode {
+				log.Printf("reloaded shard (version %d)", srv.Version())
+				continue
+			}
 			mapped, f32 := srv.ServingMode()
 			log.Printf("reloaded %v (version %d, mapped=%v float32=%v)", srv.Model(), srv.Version(), mapped, f32)
 		}
 	}()
 
-	runServer(httpSrv)
+	err = runServer(httpSrv)
+	// The feed writer buffers appends; a drained shutdown must not lose
+	// the tail of the interaction log, so sync and close it explicitly
+	// before deciding the exit status (log.Fatal would skip deferred
+	// closes).
+	if fl != nil {
+		if serr := fl.Sync(); serr != nil {
+			log.Printf("feed sync on shutdown: %v", serr)
+		}
+		if cerr := fl.Close(); cerr != nil {
+			log.Printf("feed close on shutdown: %v", cerr)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bye")
 }
 
 // modelNumItems reads the catalogue size out of a model file, preferring
@@ -190,21 +235,24 @@ func modelNumItems(path string) (int, error) {
 	return model.NumItems(), nil
 }
 
-func runServer(httpSrv *http.Server) {
+// runServer serves until SIGINT/SIGTERM, then drains in-flight requests
+// under a deadline. It returns instead of exiting so the caller can
+// flush state (the feed writer) whatever the outcome.
+func runServer(httpSrv *http.Server) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 	log.Print("shutting down (draining in-flight requests)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("bye")
+	return nil
 }

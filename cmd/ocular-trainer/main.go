@@ -16,6 +16,13 @@
 // newer model, then warms the server's rank cache for the hottest users
 // via /v1/batch.
 //
+// Against a sharded serving tier, replace -server with -shards and
+// -router: each cycle runs the versioned reload handshake against every
+// shard (all must confirm — a partial quorum aborts before anything
+// changes for clients), then flips the router's route table via
+// /v1/admin/flip, verifies its epoch advanced, and warms the router's
+// cache. See the README's "Sharded serving" section.
+//
 // Retraining triggers: -min-new fires on feed backlog (count), -interval
 // fires on elapsed time with any backlog. -once runs exactly one
 // unconditional cycle and exits — the CI smoke mode and the cron-job
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"log"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +68,8 @@ func main() {
 
 		maxGrowth = flag.Int("max-growth", 0, "cap on catalogue growth per cycle; feed events beyond it are skipped (0 = 1<<20)")
 		server    = flag.String("server", "", "ocular-serve base URL to roll models out to (e.g. http://localhost:8080)")
+		shards    = flag.String("shards", "", "comma-separated shard base URLs for the quorum rollout (with -router; mutually exclusive with -server)")
+		router    = flag.String("router", "", "ocular-router base URL whose route table is flipped after all -shards confirm")
 		minNew    = flag.Int("min-new", 100, "retrain once this many new positives accumulated")
 		interval  = flag.Duration("interval", 15*time.Minute, "retrain after this long with any backlog (0 disables)")
 		poll      = flag.Duration("poll", 5*time.Second, "feed poll period")
@@ -85,6 +95,8 @@ func main() {
 		Save:            core.SaveOptions{Float32: *saveF32},
 		MaxGrowth:       *maxGrowth,
 		ServerURL:       *server,
+		ShardURLs:       splitURLs(*shards),
+		RouterURL:       strings.TrimRight(*router, "/"),
 		MinNewPositives: *minNew,
 		MaxInterval:     *interval,
 		PollInterval:    *poll,
@@ -130,4 +142,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("bye")
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty entries
+// and trailing slashes (so -shards "a/,b," works as expected).
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	return urls
 }

@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/rank"
+	"repro/internal/serve"
+)
+
+// metrics counts the router's activity. Cache counters live in the
+// shared rank.Stats (the ListCache feeds them).
+type metrics struct {
+	start       time.Time
+	requests    expvar.Int
+	errors      expvar.Int
+	degraded    expvar.Int
+	scatters    expvar.Int
+	shardCalls  expvar.Int
+	shardErrors expvar.Int
+	hedges      expvar.Int
+	flips       expvar.Int
+}
+
+func newMetrics() *metrics { return &metrics{start: time.Now()} }
+
+// Handler returns the HTTP handler serving the router API: the
+// single-process /v1/recommend and /v1/batch surface, plus
+// /v1/admin/flip for the trainer's post-rollout table flip.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/recommend", rt.instrument(rt.handleRecommend))
+	mux.HandleFunc("POST /v1/batch", rt.instrument(rt.handleBatch))
+	mux.HandleFunc("POST /v1/admin/flip", rt.instrument(rt.handleFlip))
+	mux.HandleFunc("GET /healthz", rt.instrument(rt.handleHealthz))
+	mux.HandleFunc("GET /metrics", rt.instrument(rt.handleMetrics))
+	return mux
+}
+
+func (rt *Router) instrument(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.m.requests.Add(1)
+		if status := h(w, r); status >= 400 {
+			rt.m.errors.Add(1)
+		}
+	}
+}
+
+// decode mirrors serve.Server's body handling: size cap, unknown fields
+// rejected, exactly one JSON value.
+func (rt *Router) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return errors.New("request body must be a single JSON value (trailing data rejected)")
+	}
+	return nil
+}
+
+func (rt *Router) clampM(m int) (int, error) {
+	switch {
+	case m == 0:
+		if rt.cfg.MaxM < 10 {
+			return rt.cfg.MaxM, nil
+		}
+		return 10, nil
+	case m < 0:
+		return 0, fmt.Errorf("m must be positive, got %d", m)
+	case m > rt.cfg.MaxM:
+		return 0, fmt.Errorf("m=%d exceeds the router cap of %d", m, rt.cfg.MaxM)
+	}
+	return m, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+	return status
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) int {
+	return writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// loadTable returns the current route table, or a 503 requestError
+// before the first successful Refresh.
+func (rt *Router) loadTable() (*routeTable, error) {
+	tbl := rt.table.Load()
+	if tbl == nil {
+		return nil, &requestError{status: http.StatusServiceUnavailable,
+			msg: "no route table yet (waiting for the first successful shard refresh)"}
+	}
+	return tbl, nil
+}
+
+// validate checks user and exclusion ids against the route table's
+// catalogue, mirroring the single-process server's rejections.
+func (tbl *routeTable) validate(user int, exclude []int) error {
+	if user < 0 || user >= tbl.users {
+		return fmt.Errorf("user %d out of range (%d users)", user, tbl.users)
+	}
+	for _, i := range exclude {
+		if i < 0 || i >= tbl.items {
+			return fmt.Errorf("exclude item %d out of range (%d items)", i, tbl.items)
+		}
+	}
+	return nil
+}
+
+// RecommendResponse is the router's answer to /v1/recommend: the same
+// ranked list a single process serving the full model would return,
+// tagged with the route epoch it was merged under. Degraded marks a
+// merge assembled from surviving shards only (Config.AllowDegraded);
+// degraded lists are never cached.
+type RecommendResponse struct {
+	User       int                `json:"user"`
+	Items      []serve.ScoredItem `json:"items"`
+	Cached     bool               `json:"cached"`
+	RouteEpoch uint64             `json:"route_epoch"`
+	Degraded   bool               `json:"degraded,omitempty"`
+}
+
+func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) int {
+	var req serve.RecommendRequest
+	if err := rt.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	m, err := rt.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	tbl, err := rt.loadTable()
+	if err != nil {
+		return rt.writeFailure(w, err)
+	}
+	if err := tbl.validate(req.User, req.ExcludeItems); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	items, scores, cached, degraded, err := rt.recommendOne(r, tbl, req.User, m, req.ExcludeItems, req.Filter)
+	if err != nil {
+		return rt.writeFailure(w, err)
+	}
+	scored := make([]serve.ScoredItem, len(items))
+	for n := range items {
+		scored[n] = serve.ScoredItem{Item: items[n], Score: scores[n]}
+	}
+	return writeJSON(w, http.StatusOK, RecommendResponse{
+		User:       req.User,
+		Items:      scored,
+		Cached:     cached,
+		RouteEpoch: tbl.epoch,
+		Degraded:   degraded,
+	})
+}
+
+// writeFailure maps a scatter-path error to its HTTP shape: validation
+// rejections keep their status, everything else — shard outages, version
+// conflicts, timeouts — is a 502 (the tier behind the router failed).
+func (rt *Router) writeFailure(w http.ResponseWriter, err error) int {
+	var reqErr *requestError
+	if errors.As(err, &reqErr) {
+		return writeError(w, reqErr.status, reqErr.msg)
+	}
+	return writeError(w, http.StatusBadGateway, err.Error())
+}
+
+// recommendOne serves one user's merged list through the fingerprint
+// cache. Validation must have happened; m must be clamped.
+func (rt *Router) recommendOne(r *http.Request, tbl *routeTable, user, m int, exclude []int, spec *serve.FilterSpec) (items []int, scores []float64, cached, degraded bool, err error) {
+	shardReq := serve.ShardTopMRequest{User: user, M: m, ExcludeItems: exclude, Filter: spec}
+	compute := func() ([]int, []float64, bool, error) {
+		parts, err := rt.scatter(r.Context(), tbl, shardReq)
+		if err != nil {
+			var reqErr *requestError
+			if errors.As(err, &reqErr) || !rt.cfg.AllowDegraded {
+				return nil, nil, false, err
+			}
+			survivors := parts[:0:0]
+			for _, p := range parts {
+				if p != nil {
+					survivors = append(survivors, p)
+				}
+			}
+			if len(survivors) == 0 {
+				return nil, nil, false, err
+			}
+			// Degraded merge: serve what survived, mark it, and keep it
+			// out of the cache and away from coalesced waiters — a
+			// truncated list must never outlive the outage that caused it.
+			degraded = true
+			rt.m.degraded.Add(1)
+			flat := make([]rank.Partial, len(survivors))
+			for n, p := range survivors {
+				flat[n] = *p
+			}
+			items, scores := rank.MergeTopM(m, flat...)
+			return items, scores, false, nil
+		}
+		flat := make([]rank.Partial, len(parts))
+		for n, p := range parts {
+			flat[n] = *p
+		}
+		items, scores := rank.MergeTopM(m, flat...)
+		return items, scores, true, nil
+	}
+	fp, cacheable := fingerprintFor(tbl.epoch, exclude, spec)
+	if !cacheable {
+		items, scores, _, err = compute()
+		return items, scores, false, degraded, err
+	}
+	items, scores, cached, err = rt.cache.GetOrCompute(user, m, fp, compute)
+	return items, scores, cached, degraded, err
+}
+
+// BatchResult is one user's slot in a router batch response.
+type BatchResult struct {
+	User     int                `json:"user"`
+	Items    []serve.ScoredItem `json:"items,omitempty"`
+	Cached   bool               `json:"cached,omitempty"`
+	Degraded bool               `json:"degraded,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// BatchResponse carries one result per requested user, in request order.
+type BatchResponse struct {
+	Results    []BatchResult `json:"results"`
+	RouteEpoch uint64        `json:"route_epoch"`
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) int {
+	var req serve.BatchRequest
+	if err := rt.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	if len(req.Users) == 0 {
+		return writeError(w, http.StatusBadRequest, "users must be non-empty")
+	}
+	if len(req.Users) > rt.cfg.MaxBatch {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d users exceeds the router cap of %d", len(req.Users), rt.cfg.MaxBatch))
+	}
+	m, err := rt.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	tbl, err := rt.loadTable()
+	if err != nil {
+		return rt.writeFailure(w, err)
+	}
+	for _, i := range req.ExcludeItems {
+		if i < 0 || i >= tbl.items {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("exclude item %d out of range (%d items)", i, tbl.items))
+		}
+	}
+	results := make([]BatchResult, len(req.Users))
+	serveUser := func(n int) {
+		u := req.Users[n]
+		if u < 0 || u >= tbl.users {
+			results[n] = BatchResult{User: u, Error: fmt.Sprintf("user %d out of range (%d users)", u, tbl.users)}
+			return
+		}
+		items, scores, cached, degraded, err := rt.recommendOne(r, tbl, u, m, req.ExcludeItems, req.Filter)
+		if err != nil {
+			results[n] = BatchResult{User: u, Error: err.Error()}
+			return
+		}
+		scored := make([]serve.ScoredItem, len(items))
+		for i := range items {
+			scored[i] = serve.ScoredItem{Item: items[i], Score: scores[i]}
+		}
+		results[n] = BatchResult{User: u, Items: scored, Cached: cached, Degraded: degraded}
+	}
+	if len(req.Users) == 1 {
+		serveUser(0)
+	} else {
+		parallel.For(len(req.Users), rt.cfg.Workers, func(n int, _ *parallel.Scratch) {
+			serveUser(n)
+		})
+	}
+	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, RouteEpoch: tbl.epoch})
+}
+
+// ShardStatus is one shard's row in flip and health responses.
+type ShardStatus struct {
+	URL     string `json:"url"`
+	Version uint64 `json:"model_version"`
+	Lo      int    `json:"shard_lo"`
+	Hi      int    `json:"shard_hi"`
+}
+
+// FlipResponse reports the route table installed by /v1/admin/flip.
+type FlipResponse struct {
+	Epoch  uint64        `json:"epoch"`
+	Users  int           `json:"users"`
+	Items  int           `json:"items"`
+	Shards []ShardStatus `json:"shards"`
+}
+
+func (rt *Router) handleFlip(w http.ResponseWriter, r *http.Request) int {
+	// No parameters, but the body is still drained under the cap (see the
+	// same guard on serve's /v1/reload).
+	if _, err := io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)); err != nil {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+	}
+	if _, err := rt.Refresh(r.Context()); err != nil {
+		// The old table — if any — keeps serving; a failed flip changes
+		// nothing.
+		return writeError(w, http.StatusBadGateway, err.Error())
+	}
+	tbl := rt.table.Load()
+	return writeJSON(w, http.StatusOK, FlipResponse{
+		Epoch:  tbl.epoch,
+		Users:  tbl.users,
+		Items:  tbl.items,
+		Shards: tbl.statuses(),
+	})
+}
+
+func (tbl *routeTable) statuses() []ShardStatus {
+	out := make([]ShardStatus, len(tbl.shards))
+	for n, s := range tbl.shards {
+		out[n] = ShardStatus{URL: s.url, Version: s.version, Lo: s.lo, Hi: s.hi}
+	}
+	return out
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	tbl := rt.table.Load()
+	if tbl == nil {
+		return writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "no_route_table",
+			"shards": rt.cfg.Shards,
+		})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"epoch":          tbl.epoch,
+		"users":          tbl.users,
+		"items":          tbl.items,
+		"shards":         tbl.statuses(),
+		"allow_degraded": rt.cfg.AllowDegraded,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	out := map[string]any{
+		"uptime_seconds": time.Since(rt.m.start).Seconds(),
+		"requests":       rt.m.requests.Value(),
+		"errors":         rt.m.errors.Value(),
+		"degraded":       rt.m.degraded.Value(),
+		"scatters":       rt.m.scatters.Value(),
+		"shard_calls":    rt.m.shardCalls.Value(),
+		"shard_errors":   rt.m.shardErrors.Value(),
+		"hedges":         rt.m.hedges.Value(),
+		"table_flips":    rt.m.flips.Value(),
+		"cache": map[string]any{
+			"hits":      rt.stats.Hits(),
+			"misses":    rt.stats.Misses(),
+			"coalesced": rt.stats.Coalesced(),
+			"merged":    rt.stats.Ranked(),
+			"entries":   rt.cache.Len(),
+		},
+	}
+	if tbl := rt.table.Load(); tbl != nil {
+		out["epoch"] = tbl.epoch
+	}
+	return writeJSON(w, http.StatusOK, out)
+}

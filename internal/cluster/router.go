@@ -1,0 +1,513 @@
+// Package cluster is the sharded serving tier's scatter-gather router: a
+// front-end that answers the single-process /v1/recommend and /v1/batch
+// API by fanning each request out to item-partitioned shard processes
+// (serve.NewShardFromFile), merging the per-shard top-M partials with
+// rank.MergeTopM, and caching the merged lists. Because per-item scores
+// are independent of the rest of the catalogue, the merged lists are
+// bit-identical — same items, same float64 score bits — to what one
+// process serving the whole model would return.
+//
+// The router owns the fingerprint cache and the singleflight; shards stay
+// cacheless and stateless. Consistency across rollouts rests on two
+// mechanisms:
+//
+//   - Every scatter pins the model version it expects from each shard
+//     (the versions recorded in the route table); a shard serving neither
+//     that version nor its immediate predecessor answers 409, so partials
+//     of mixed model versions can never meet in one merge.
+//   - The route table carries an epoch, advanced by every Refresh (the
+//     trainer flips it via POST /v1/admin/flip after its quorum reload),
+//     and the epoch is folded into every cache fingerprint — a cache
+//     entry merged under an old table is unreachable the moment the
+//     table flips, with no flush or coordination.
+//
+// Shard failures fail the request closed by default (a silently
+// truncated catalogue is a wrong answer, not a degraded one). With
+// Config.AllowDegraded the router instead merges the surviving partials
+// and marks the response degraded; degraded merges are never cached and
+// never shared with coalesced waiters.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rank"
+	"repro/internal/serve"
+)
+
+// Config tunes a Router. Shards is required; everything else defaults.
+type Config struct {
+	// Shards are the base URLs of the shard processes (e.g.
+	// "http://10.0.0.1:8081"). Their item ranges are discovered from
+	// /healthz by Refresh and must exactly partition the catalogue.
+	Shards []string
+	// MaxM caps the requested list length m. 0 means 1000. It must not
+	// exceed the shards' own MaxM: the router forwards m verbatim.
+	MaxM int
+	// MaxBatch caps the number of users in one /v1/batch request. 0 means
+	// 1024.
+	MaxBatch int
+	// MaxBodyBytes caps request body size. 0 means 1 MiB.
+	MaxBodyBytes int64
+	// CacheSize is the approximate total number of cached merged lists; 0
+	// means 4096, negative disables caching.
+	CacheSize int
+	// CacheShards is the cache's shard count (rounded up to a power of
+	// two). 0 means 16.
+	CacheShards int
+	// Workers bounds the per-request user fan-out of /v1/batch. 0 means
+	// all cores.
+	Workers int
+	// MaxFanout bounds how many shard calls one scatter runs
+	// concurrently. 0 means all shards at once.
+	MaxFanout int
+	// Timeout is the per-attempt deadline of one shard call. 0 means 2s.
+	Timeout time.Duration
+	// HedgeDelay, when positive, launches a second identical attempt
+	// against a shard that has neither answered nor failed after this
+	// long (and immediately after a fast failure); the first success
+	// wins. 0 disables hedging — one attempt per shard.
+	HedgeDelay time.Duration
+	// AllowDegraded serves merges assembled from the surviving shards
+	// when others fail, marking the response degraded, instead of
+	// failing the request. Degraded merges are never cached.
+	AllowDegraded bool
+	// HTTPClient overrides the client used for shard calls (tests;
+	// custom transports). Nil means a client with no overall timeout —
+	// per-attempt deadlines come from Timeout.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives progress lines (cmd/ocular-router
+	// wires log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxM == 0 {
+		c.MaxM = 1000
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxFanout == 0 {
+		c.MaxFanout = len(c.Shards)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// shardRoute is one shard's slot in a route table: where it lives, the
+// item range it owns, and the model version every scatter under this
+// table pins it to.
+type shardRoute struct {
+	url     string
+	version uint64
+	lo, hi  int
+}
+
+// routeTable is one immutable routing state. Requests load the pointer
+// once and scatter under that table; a concurrent flip never mixes
+// epochs within one request.
+type routeTable struct {
+	epoch        uint64
+	shards       []shardRoute
+	users, items int
+}
+
+// Router scatters recommendation requests over the shard tier. All
+// methods are safe for concurrent use.
+type Router struct {
+	cfg   Config
+	table atomic.Pointer[routeTable]
+	cache *rank.ListCache
+	stats *rank.Stats
+	m     *metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Router over cfg.Shards. The router starts with no route
+// table — call Refresh (or let the first /v1/admin/flip do it) before
+// serving; requests meanwhile answer 503.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: at least one shard URL is required")
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for _, u := range cfg.Shards {
+		if u == "" {
+			return nil, fmt.Errorf("cluster: empty shard URL")
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("cluster: duplicate shard URL %s", u)
+		}
+		seen[u] = true
+	}
+	switch {
+	case cfg.MaxM < 0:
+		return nil, fmt.Errorf("cluster: MaxM must be >= 0, got %d", cfg.MaxM)
+	case cfg.MaxBatch < 0:
+		return nil, fmt.Errorf("cluster: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
+	case cfg.MaxBodyBytes < 0:
+		return nil, fmt.Errorf("cluster: MaxBodyBytes must be >= 0, got %d", cfg.MaxBodyBytes)
+	case cfg.Workers < 0:
+		return nil, fmt.Errorf("cluster: Workers must be >= 0, got %d", cfg.Workers)
+	case cfg.MaxFanout < 0:
+		return nil, fmt.Errorf("cluster: MaxFanout must be >= 0, got %d", cfg.MaxFanout)
+	case cfg.Timeout < 0 || cfg.HedgeDelay < 0:
+		return nil, fmt.Errorf("cluster: Timeout and HedgeDelay must be >= 0")
+	}
+	cfg = cfg.withDefaults()
+	stats := &rank.Stats{}
+	rt := &Router{
+		cfg:   cfg,
+		cache: rank.NewListCache(cfg.CacheSize, cfg.CacheShards, stats),
+		stats: stats,
+		m:     newMetrics(),
+	}
+	rt.mux = rt.buildMux()
+	return rt, nil
+}
+
+// shardHealth is the subset of a shard's /healthz the router routes by.
+type shardHealth struct {
+	ModelVersion uint64 `json:"model_version"`
+	Users        int    `json:"users"`
+	Items        int    `json:"items"`
+	ShardLo      int    `json:"shard_lo"`
+	ShardHi      *int   `json:"shard_hi"`
+}
+
+// Refresh polls every shard's /healthz and installs a new route table:
+// per-shard model versions (the versions scatters will pin), the
+// catalogue shape, and a bumped epoch. It fails — leaving the current
+// table serving — unless every shard answers, all agree on the catalogue
+// shape, and their item ranges exactly partition [0, items). The trainer
+// drives it through POST /v1/admin/flip after its quorum reload.
+func (rt *Router) Refresh(ctx context.Context) (epoch uint64, err error) {
+	var users, items int
+	sorted := make([]shardRoute, len(rt.cfg.Shards))
+	for i, u := range rt.cfg.Shards {
+		h, err := rt.shardHealthz(ctx, u)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: refresh: shard %s: %w", u, err)
+		}
+		if h.ShardHi == nil {
+			return 0, fmt.Errorf("cluster: refresh: %s is not a shard server (no shard_hi in /healthz)", u)
+		}
+		if i == 0 {
+			users, items = h.Users, h.Items
+		} else if h.Users != users || h.Items != items {
+			return 0, fmt.Errorf("cluster: refresh: shard %s serves a %dx%d catalogue, shard %s a %dx%d one",
+				u, h.Users, h.Items, rt.cfg.Shards[0], users, items)
+		}
+		sorted[i] = shardRoute{url: u, version: h.ModelVersion, lo: h.ShardLo, hi: *h.ShardHi}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].lo < sorted[j].lo })
+	at := 0
+	for _, s := range sorted {
+		if s.lo != at {
+			return 0, fmt.Errorf("cluster: refresh: shard ranges do not partition the catalogue: gap or overlap at item %d (shard %s owns [%d,%d))",
+				at, s.url, s.lo, s.hi)
+		}
+		at = s.hi
+	}
+	if at != items {
+		return 0, fmt.Errorf("cluster: refresh: shard ranges cover [0,%d) but the catalogue has %d items", at, items)
+	}
+	old := rt.table.Load()
+	epoch = 1
+	if old != nil {
+		epoch = old.epoch + 1
+	}
+	rt.table.Store(&routeTable{epoch: epoch, shards: sorted, users: users, items: items})
+	rt.m.flips.Add(1)
+	rt.cfg.Logf("route table epoch %d: %d shards over %dx%d", epoch, len(sorted), users, items)
+	return epoch, nil
+}
+
+// shardHealthz reads one shard's /healthz.
+func (rt *Router) shardHealthz(ctx context.Context, base string) (shardHealth, error) {
+	var h shardHealth
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := rt.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("/healthz: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return h, err
+	}
+	return h, nil
+}
+
+// requestError carries a client-visible HTTP status through the scatter
+// path — a shard's 400 (invalid request) must surface as the router's
+// 400, not as a shard outage.
+type requestError struct {
+	status int
+	msg    string
+}
+
+func (e *requestError) Error() string { return e.msg }
+
+// scatter fans req out to every shard of tbl (bounded by MaxFanout,
+// hedged per HedgeDelay) and returns the partials in shard order, nil
+// for shards that failed, plus the first failure. The caller decides
+// whether failures are fatal (fail-closed) or degrade the merge.
+func (rt *Router) scatter(ctx context.Context, tbl *routeTable, req serve.ShardTopMRequest) ([]*rank.Partial, error) {
+	rt.m.scatters.Add(1)
+	parts := make([]*rank.Partial, len(tbl.shards))
+	errs := make([]error, len(tbl.shards))
+	sem := make(chan struct{}, rt.cfg.MaxFanout)
+	done := make(chan int, len(tbl.shards))
+	for i := range tbl.shards {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; done <- i }()
+			p, err := rt.callShard(ctx, tbl.shards[i], req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			parts[i] = &p
+		}(i)
+	}
+	for range tbl.shards {
+		<-done
+	}
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		rt.m.shardErrors.Add(1)
+		rt.cfg.Logf("shard %s: %v", tbl.shards[i].url, err)
+		var reqErr *requestError
+		if errors.As(err, &reqErr) {
+			// Invalid-request rejections outrank outages: they are
+			// deterministic, so "degrading around" them would serve a
+			// silently mis-filtered list.
+			return parts, err
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("shard %s: %w", tbl.shards[i].url, err)
+		}
+	}
+	return parts, firstErr
+}
+
+// callShard runs one shard call with per-attempt timeout and hedged
+// retry: a second identical attempt launches after HedgeDelay (or
+// immediately after a fast failure), and the first success wins. At most
+// two attempts — a shard that fails both is reported failed.
+func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
+	req.ExpectVersion = sh.version
+	type result struct {
+		p   rank.Partial
+		err error
+	}
+	ch := make(chan result, 2)
+	attempt := func() {
+		actx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
+		defer cancel()
+		p, err := rt.postShardTopM(actx, sh, req)
+		ch <- result{p, err}
+	}
+	pending := 1
+	go attempt()
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeDelay > 0 {
+		timer := time.NewTimer(rt.cfg.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+	launchHedge := func() {
+		hedgeC = nil
+		pending++
+		rt.m.hedges.Add(1)
+		go attempt()
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.p, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			var reqErr *requestError
+			if errors.As(r.err, &reqErr) {
+				// Deterministic rejection: a hedge would hit the same wall.
+				return rank.Partial{}, r.err
+			}
+			if hedgeC != nil {
+				// The primary failed before the hedge timer fired; hedge
+				// now rather than waiting out the delay.
+				launchHedge()
+				continue
+			}
+			if pending == 0 {
+				return rank.Partial{}, firstErr
+			}
+		case <-hedgeC:
+			launchHedge()
+		case <-ctx.Done():
+			return rank.Partial{}, ctx.Err()
+		}
+	}
+}
+
+// postShardTopM performs one /v1/shard/topm attempt and validates the
+// partial: the version pin held, the shard answered for its route-table
+// range, every item is inside that range, and the list follows the tie
+// rule. A partial failing validation is treated as a shard failure —
+// merging it could silently corrupt the global list.
+func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
+	rt.m.shardCalls.Add(1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.url+"/v1/shard/topm", bytes.NewReader(body))
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.HTTPClient.Do(hreq)
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := fmt.Sprintf("/v1/shard/topm: HTTP %d", resp.StatusCode)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusBadRequest {
+			return rank.Partial{}, &requestError{status: http.StatusBadRequest, msg: msg}
+		}
+		// 409 (version conflict) and 5xx are shard-side failures; the
+		// fail-closed/degraded policy decides what they mean.
+		return rank.Partial{}, errors.New(msg)
+	}
+	var out serve.ShardTopMResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return rank.Partial{}, err
+	}
+	if out.ModelVersion != req.ExpectVersion {
+		return rank.Partial{}, fmt.Errorf("shard answered for model version %d, pinned %d", out.ModelVersion, req.ExpectVersion)
+	}
+	if out.ShardLo != sh.lo || out.ShardHi != sh.hi {
+		return rank.Partial{}, fmt.Errorf("shard owns [%d,%d) but the route table says [%d,%d) — stale table, re-flip",
+			out.ShardLo, out.ShardHi, sh.lo, sh.hi)
+	}
+	p := rank.Partial{Items: make([]int, len(out.Items)), Scores: make([]float64, len(out.Items))}
+	for n, it := range out.Items {
+		if it.Item < sh.lo || it.Item >= sh.hi {
+			return rank.Partial{}, fmt.Errorf("shard returned item %d outside its range [%d,%d)", it.Item, sh.lo, sh.hi)
+		}
+		if n > 0 {
+			prevS, prevI := p.Scores[n-1], p.Items[n-1]
+			if it.Score > prevS || (it.Score == prevS && it.Item <= prevI) {
+				return rank.Partial{}, fmt.Errorf("shard partial violates the tie rule at rank %d", n)
+			}
+		}
+		p.Items[n] = it.Item
+		p.Scores[n] = it.Score
+	}
+	return p, nil
+}
+
+// fingerprintFor canonicalizes a request's filter surface into the cache
+// fingerprint, folding in the route-table epoch (which is what makes
+// stale-epoch cache hits impossible). Exclusion lists are sorted and
+// deduplicated, tag lists sorted and quoted — both order-independent in
+// meaning, so canonicalization only widens cache sharing. Oversized
+// fingerprints make the request uncacheable instead of unbounded.
+func fingerprintFor(epoch uint64, exclude []int, spec *serve.FilterSpec) (string, bool) {
+	const maxLen = 4096
+	var b strings.Builder
+	b.WriteString("e")
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	if len(exclude) > 0 {
+		ex := make([]int, len(exclude))
+		copy(ex, exclude)
+		sort.Ints(ex)
+		b.WriteString("|ex:")
+		for n, i := range ex {
+			if n > 0 && i == ex[n-1] {
+				continue
+			}
+			b.WriteString(strconv.Itoa(i))
+			b.WriteByte(',')
+			if b.Len() > maxLen {
+				return "", false
+			}
+		}
+	}
+	writeTags := func(label string, tags []string) bool {
+		if len(tags) == 0 {
+			return true
+		}
+		ts := make([]string, len(tags))
+		copy(ts, tags)
+		sort.Strings(ts)
+		b.WriteString(label)
+		for n, t := range ts {
+			if n > 0 && t == ts[n-1] {
+				continue
+			}
+			b.WriteString(strconv.Quote(t))
+			if b.Len() > maxLen {
+				return false
+			}
+		}
+		return true
+	}
+	if spec != nil {
+		if !writeTags("|allow:", spec.AllowTags) || !writeTags("|deny:", spec.DenyTags) {
+			return "", false
+		}
+	}
+	return b.String(), true
+}

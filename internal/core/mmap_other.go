@@ -21,3 +21,13 @@ func mmapFile(f *os.File, size int) ([]byte, error) {
 func munmapFile(data []byte) error {
 	return nil
 }
+
+// mmapFileAt on platforms without a usable mmap reads the window into
+// memory, mirroring mmapFile's fallback semantics.
+func mmapFileAt(f *os.File, off int64, length int) ([]byte, error) {
+	data := make([]byte, length)
+	if _, err := f.ReadAt(data, off); err != nil {
+		return nil, err
+	}
+	return data, nil
+}

@@ -18,3 +18,10 @@ func mmapFile(f *os.File, size int) ([]byte, error) {
 func munmapFile(data []byte) error {
 	return syscall.Munmap(data)
 }
+
+// mmapFileAt maps length bytes of f starting at the page-aligned byte
+// offset off — the partial-map primitive of the sharded serving tier,
+// which maps only a shard's item-range slice of each factor section.
+func mmapFileAt(f *os.File, off int64, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}

@@ -120,6 +120,97 @@ func (c *topCache) put(k requestKey, items []int, scores []float64) {
 	s.byKey[k] = s.order.PushFront(&cacheEntry{key: k, items: items, scores: scores})
 }
 
+// ListCache is the engine's cache-and-coalesce machinery exported for
+// ranked lists assembled outside an Engine — the scatter-gather router
+// caches merged top-M lists it gathered from shard partials, under the
+// same sharded LRU and singleflight discipline the engine applies to
+// lists it ranked itself. Keys are (user, m, fingerprint); the caller
+// owns the fingerprint's contents (the router folds its route epoch in,
+// which is what makes mixed-epoch cache hits impossible). All methods are
+// safe for concurrent use.
+type ListCache struct {
+	cache  *topCache
+	flight flightGroup
+	stats  *Stats
+}
+
+// NewListCache builds a list cache of about capacity entries across
+// shards shards (see Config for the conventions; capacity <= 0 disables
+// caching, leaving only the compute path). A nil stats allocates private
+// counters.
+func NewListCache(capacity, shards int, stats *Stats) *ListCache {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &ListCache{cache: newTopCache(capacity, shards), stats: stats}
+}
+
+// Stats returns the cache's counters (hits, misses, coalesced waiters,
+// and computations run).
+func (c *ListCache) Stats() *Stats { return c.stats }
+
+// Len returns the number of cached lists.
+func (c *ListCache) Len() int { return c.cache.len() }
+
+// GetOrCompute returns the list cached under (user, m, fp), running
+// compute on a miss. Concurrent misses for the same key coalesce: one
+// caller computes, the rest wait and share its published result (cached
+// reports either a cache hit or a coalesced share). compute additionally
+// reports whether its result may be cached and shared — a degraded merge
+// assembled from surviving shards must be served to its own caller but
+// never published or cached, so waiters recompute instead of inheriting
+// a silently incomplete list. Errors are likewise never cached; the
+// returned slices are shared with the cache and must not be modified.
+func (c *ListCache) GetOrCompute(user, m int, fp string, compute func() (items []int, scores []float64, cacheable bool, err error)) (items []int, scores []float64, cached bool, err error) {
+	run := func() ([]int, []float64, bool, error) {
+		c.stats.ranked.Add(1)
+		return compute()
+	}
+	if c.cache == nil {
+		c.stats.misses.Add(1)
+		items, scores, _, err = run()
+		return items, scores, false, err
+	}
+	key := requestKey{user: user, m: m, filters: fp}
+	if items, scores, ok := c.cache.get(key); ok {
+		c.stats.hits.Add(1)
+		return items, scores, true, nil
+	}
+	call, leader := c.flight.join(key)
+	if !leader {
+		<-call.done
+		if call.ok {
+			c.stats.coalesced.Add(1)
+			return call.items, call.scores, true, nil
+		}
+		// The leader failed or produced an unshareable (degraded) result;
+		// compute independently.
+		c.stats.misses.Add(1)
+		var cacheable bool
+		items, scores, cacheable, err = run()
+		if err == nil && cacheable {
+			c.cache.put(key, items, scores)
+		}
+		return items, scores, false, err
+	}
+	c.stats.misses.Add(1)
+	published := false
+	defer func() {
+		if !published {
+			c.flight.abandon(key, call)
+		}
+	}()
+	var cacheable bool
+	items, scores, cacheable, err = run()
+	if err != nil || !cacheable {
+		return items, scores, false, err
+	}
+	c.cache.put(key, items, scores)
+	c.flight.publish(key, call, items, scores)
+	published = true
+	return items, scores, false, nil
+}
+
 // len returns the total number of cached entries.
 func (c *topCache) len() int {
 	if c == nil {

@@ -135,6 +135,50 @@ func (f itemsFilter) maxExcluded(numItems int) int {
 	return len(f.list)
 }
 
+// OffsetRange adapts a filter expressed over global item ids to the local
+// index space of an item partition [lo, hi): local index n stands for
+// global item n+lo. The sharded serving tier scores only its partition —
+// the rank engine there sees local indices 0..hi-lo — while request
+// filters (training rows, exclusion lists, tag tables) speak global ids;
+// this adapter bridges the two without the filters knowing about shards.
+//
+// A Sorted inner filter keeps its fast path: the global exclusion list is
+// windowed to [lo, hi) and shifted once at construction (O(log n +
+// window)), so the selection scan still advances a cursor instead of
+// probing a predicate per item. Other filters are wrapped as shifted
+// predicates. The result is deliberately unkeyed — shards serve cacheless
+// by design (the router owns the fingerprint cache), so spending work on
+// a range-qualified cache key would buy nothing.
+func OffsetRange(f Filter, lo, hi int) Filter {
+	if sf, ok := f.(Sorted); ok {
+		list := sf.ExcludedList()
+		a := sort.Search(len(list), func(i int) bool { return int(list[i]) >= lo })
+		b := sort.Search(len(list), func(i int) bool { return int(list[i]) >= hi })
+		shifted := make([]int32, b-a)
+		for n, v := range list[a:b] {
+			shifted[n] = v - int32(lo)
+		}
+		return itemsFilter{list: shifted}
+	}
+	return offsetFilter{inner: f, lo: lo}
+}
+
+// offsetFilter shifts a predicate-only filter into partition-local index
+// space.
+type offsetFilter struct {
+	inner Filter
+	lo    int
+}
+
+func (f offsetFilter) Excluded(local int) bool { return f.inner.Excluded(local + f.lo) }
+
+func (f offsetFilter) maxExcluded(numItems int) int {
+	if b, ok := f.inner.(bounder); ok {
+		return b.maxExcluded(numItems)
+	}
+	return numItems
+}
+
 // Union composes filters: the result excludes an item iff any member does.
 // The engine flattens unions, so members keep their individual sorted and
 // keyed fast paths; a Union is cacheable exactly when all members are.

@@ -1,0 +1,70 @@
+package rank
+
+// Partial is one item-partition's contribution to a scatter-gathered
+// top-M: the partition's own top-min(m, partition size) items (global
+// ids) with their scores, already ordered by the engine's tie rule
+// (descending score, ascending item). Select over a partition's score
+// slice — which is how the sharded serving tier produces partials —
+// yields exactly this shape.
+type Partial struct {
+	Items  []int
+	Scores []float64
+}
+
+// MergeTopM merges per-partition top-m lists into one global top-m under
+// the selection tie rule: descending score, ties broken by ascending
+// item index. Each partial must be sorted by that rule and the
+// partitions' item sets must be pairwise disjoint; each partial must
+// carry at least min(m, its candidate count) entries. Under those
+// preconditions — all guaranteed when every partial is Select's output
+// over a disjoint slice of one score vector — the merged list is
+// bit-identical (same items, same float64 score bits) to Select over the
+// union, which is what makes an N-shard scatter-gather provably equal to
+// single-process serving.
+//
+// The merge is a repeated head scan, O(m · len(parts)): shard counts are
+// small (a handful to a few dozen), where a scan of the heads beats a
+// heap on constant factors and stays trivially deterministic.
+func MergeTopM(m int, parts ...Partial) (items []int, scores []float64) {
+	if m <= 0 {
+		return nil, nil
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p.Items)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	if m > total {
+		m = total
+	}
+	heads := make([]int, len(parts))
+	items = make([]int, 0, m)
+	scores = make([]float64, 0, m)
+	for len(items) < m {
+		best := -1
+		for pi := range parts {
+			h := heads[pi]
+			if h >= len(parts[pi].Items) {
+				continue
+			}
+			if best == -1 {
+				best = pi
+				continue
+			}
+			bs, bi := parts[best].Scores[heads[best]], parts[best].Items[heads[best]]
+			ps, piItem := parts[pi].Scores[h], parts[pi].Items[h]
+			if ps > bs || (ps == bs && piItem < bi) {
+				best = pi
+			}
+		}
+		if best == -1 {
+			break
+		}
+		items = append(items, parts[best].Items[heads[best]])
+		scores = append(scores, parts[best].Scores[heads[best]])
+		heads[best]++
+	}
+	return items, scores
+}

@@ -1,0 +1,277 @@
+package rank
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// partitionSelect runs Select over one item partition [lo, hi) of scores
+// the way a shard does: local score slice, local filters via OffsetRange,
+// results translated back to global ids.
+func partitionSelect(scores []float64, m, lo, hi int, filters []Filter) Partial {
+	local := make([]Filter, len(filters))
+	for n, f := range filters {
+		local[n] = OffsetRange(f, lo, hi)
+	}
+	idx := Select(scores[lo:hi], m, local...)
+	p := Partial{Items: make([]int, len(idx)), Scores: make([]float64, len(idx))}
+	for n, i := range idx {
+		p.Items[n] = i + lo
+		p.Scores[n] = scores[lo+i]
+	}
+	return p
+}
+
+// TestMergeTopMBitIdenticalToSelect is the tie-rule merge property: for
+// random score vectors (with deliberate duplicate scores), random
+// partitions and random filters, merging per-partition Select outputs is
+// bit-identical to Select over the whole vector.
+func TestMergeTopMBitIdenticalToSelect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 200; trial++ {
+		nItems := 20 + rng.IntN(300)
+		scores := make([]float64, nItems)
+		for i := range scores {
+			// Quantize so duplicate scores (ties) are common.
+			scores[i] = float64(rng.IntN(12)) / 11
+		}
+		m := 1 + rng.IntN(nItems+10)
+
+		var filters []Filter
+		if rng.IntN(2) == 0 {
+			var excl []int
+			for i := 0; i < nItems; i++ {
+				if rng.IntN(4) == 0 {
+					excl = append(excl, i)
+				}
+			}
+			if len(excl) > 0 {
+				filters = append(filters, ExcludeItems(excl))
+			}
+		}
+
+		// Random partition bounds.
+		nParts := 1 + rng.IntN(5)
+		bounds := map[int]bool{0: true, nItems: true}
+		for len(bounds) < nParts+1 {
+			bounds[1+rng.IntN(nItems-1)] = true
+		}
+		cuts := make([]int, 0, len(bounds))
+		for b := range bounds {
+			cuts = append(cuts, b)
+		}
+		for i := range cuts {
+			for j := i + 1; j < len(cuts); j++ {
+				if cuts[j] < cuts[i] {
+					cuts[i], cuts[j] = cuts[j], cuts[i]
+				}
+			}
+		}
+
+		parts := make([]Partial, 0, len(cuts)-1)
+		for p := 0; p+1 < len(cuts); p++ {
+			parts = append(parts, partitionSelect(scores, m, cuts[p], cuts[p+1], filters))
+		}
+
+		wantItems := Select(scores, m, filters...)
+		gotItems, gotScores := MergeTopM(m, parts...)
+		if len(gotItems) != len(wantItems) {
+			t.Fatalf("trial %d (parts %v m %d): merged %d items, Select returned %d",
+				trial, cuts, m, len(gotItems), len(wantItems))
+		}
+		for n := range wantItems {
+			if gotItems[n] != wantItems[n] {
+				t.Fatalf("trial %d rank %d: merged item %d, Select item %d", trial, n, gotItems[n], wantItems[n])
+			}
+			if gotScores[n] != scores[wantItems[n]] {
+				t.Fatalf("trial %d rank %d: merged score %v, want %v", trial, n, gotScores[n], scores[wantItems[n]])
+			}
+		}
+	}
+}
+
+func TestMergeTopMEdges(t *testing.T) {
+	a := Partial{Items: []int{0, 2}, Scores: []float64{0.9, 0.5}}
+	b := Partial{Items: []int{5, 7}, Scores: []float64{0.9, 0.1}}
+
+	if items, scores := MergeTopM(0, a, b); items != nil || scores != nil {
+		t.Fatalf("m=0: got %v/%v, want nil", items, scores)
+	}
+	if items, _ := MergeTopM(3); items != nil {
+		t.Fatalf("no partials: got %v, want nil", items)
+	}
+	if items, _ := MergeTopM(3, Partial{}, Partial{}); items != nil {
+		t.Fatalf("empty partials: got %v, want nil", items)
+	}
+	// Tie at 0.9 between item 0 (partition a) and item 5 (partition b):
+	// ascending index wins.
+	items, scores := MergeTopM(10, a, b)
+	want := []int{0, 5, 2, 7}
+	if len(items) != len(want) {
+		t.Fatalf("got %v, want %v", items, want)
+	}
+	for n := range want {
+		if items[n] != want[n] {
+			t.Fatalf("rank %d: got item %d, want %d (scores %v)", n, items[n], want[n], scores)
+		}
+	}
+}
+
+// TestOffsetRange checks the local-index adapter on both the Sorted fast
+// path and the predicate fallback.
+func TestOffsetRange(t *testing.T) {
+	excl := ExcludeItems([]int{1, 4, 9, 10, 17})
+	f := OffsetRange(excl, 4, 12)                           // local 0..7 ↔ global 4..11
+	wantExcluded := map[int]bool{0: true, 5: true, 6: true} // globals 4, 9, 10
+	for local := 0; local < 8; local++ {
+		if got := f.Excluded(local); got != wantExcluded[local] {
+			t.Errorf("local %d (global %d): Excluded=%v, want %v", local, local+4, got, wantExcluded[local])
+		}
+	}
+	sorted, ok := f.(Sorted)
+	if !ok {
+		t.Fatal("OffsetRange over a Sorted filter lost the fast path")
+	}
+	list := sorted.ExcludedList()
+	want := []int32{0, 5, 6}
+	if len(list) != len(want) {
+		t.Fatalf("ExcludedList %v, want %v", list, want)
+	}
+	for n := range want {
+		if list[n] != want[n] {
+			t.Fatalf("ExcludedList %v, want %v", list, want)
+		}
+	}
+
+	// Predicate-only inner filter keeps predicate semantics.
+	pred := predicateFilter{7: true, 9: true}
+	pf := OffsetRange(pred, 5, 15)
+	if !pf.Excluded(2) || !pf.Excluded(4) || pf.Excluded(0) {
+		t.Fatal("predicate offset filter shifted wrong")
+	}
+	if _, ok := pf.(Sorted); ok {
+		t.Fatal("predicate filter must not pretend to be Sorted")
+	}
+}
+
+// predicateFilter excludes the set keys — deliberately implements only
+// the base Filter interface.
+type predicateFilter map[int]bool
+
+func (p predicateFilter) Excluded(item int) bool { return p[item] }
+
+func TestListCacheHitMissCoalesce(t *testing.T) {
+	stats := &Stats{}
+	c := NewListCache(64, 4, stats)
+
+	calls := 0
+	compute := func() ([]int, []float64, bool, error) {
+		calls++
+		return []int{1, 2}, []float64{0.9, 0.8}, true, nil
+	}
+	items, _, cached, err := c.GetOrCompute(3, 10, "fp", compute)
+	if err != nil || cached || len(items) != 2 {
+		t.Fatalf("first call: items=%v cached=%v err=%v", items, cached, err)
+	}
+	items, _, cached, err = c.GetOrCompute(3, 10, "fp", compute)
+	if err != nil || !cached || len(items) != 2 || calls != 1 {
+		t.Fatalf("second call: cached=%v calls=%d err=%v", cached, calls, err)
+	}
+	// A different fingerprint (e.g. a new route epoch) misses.
+	_, _, cached, _ = c.GetOrCompute(3, 10, "fp2", compute)
+	if cached || calls != 2 {
+		t.Fatalf("epoch-qualified fingerprint hit a stale entry (cached=%v calls=%d)", cached, calls)
+	}
+	if stats.Hits() != 1 || stats.Misses() != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/2", stats.Hits(), stats.Misses())
+	}
+
+	// Coalescing: concurrent misses on one key → one computation.
+	c2 := NewListCache(64, 4, nil)
+	var mu sync.Mutex
+	computations := 0
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _, err := c2.GetOrCompute(1, 5, "x", func() ([]int, []float64, bool, error) {
+				mu.Lock()
+				computations++
+				mu.Unlock()
+				<-release
+				return []int{4}, []float64{0.5}, true, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Give the goroutines a chance to pile onto the flight; then release.
+	for {
+		mu.Lock()
+		n := computations
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	if computations != 1 {
+		t.Fatalf("%d computations for 8 concurrent identical misses, want 1", computations)
+	}
+	if got := c2.Stats().Coalesced(); got != 7 {
+		t.Fatalf("coalesced=%d, want 7", got)
+	}
+}
+
+func TestListCacheUncacheableAndErrors(t *testing.T) {
+	c := NewListCache(64, 4, nil)
+
+	// Degraded (uncacheable) results are served but never cached.
+	calls := 0
+	degraded := func() ([]int, []float64, bool, error) {
+		calls++
+		return []int{9}, []float64{0.1}, false, nil
+	}
+	for i := 0; i < 3; i++ {
+		items, _, cached, err := c.GetOrCompute(1, 5, "d", degraded)
+		if err != nil || cached || len(items) != 1 {
+			t.Fatalf("degraded call %d: items=%v cached=%v err=%v", i, items, cached, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("degraded result was cached (%d computations for 3 calls)", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("degraded result stored: cache len %d", c.Len())
+	}
+
+	// Errors propagate and are not cached.
+	boom := fmt.Errorf("scatter failed")
+	_, _, _, err := c.GetOrCompute(1, 5, "e", func() ([]int, []float64, bool, error) {
+		return nil, nil, true, boom
+	})
+	if err != boom {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	items, _, cached, err := c.GetOrCompute(1, 5, "e", func() ([]int, []float64, bool, error) {
+		return []int{2}, []float64{0.7}, true, nil
+	})
+	if err != nil || cached || len(items) != 1 {
+		t.Fatalf("after error: items=%v cached=%v err=%v (error must not be cached)", items, cached, err)
+	}
+
+	// Disabled cache still computes.
+	off := NewListCache(0, 0, nil)
+	items, _, cached, err = off.GetOrCompute(1, 5, "x", func() ([]int, []float64, bool, error) {
+		return []int{3}, []float64{0.2}, true, nil
+	})
+	if err != nil || cached || len(items) != 1 || off.Len() != 0 {
+		t.Fatalf("disabled cache: items=%v cached=%v err=%v len=%d", items, cached, err, off.Len())
+	}
+}

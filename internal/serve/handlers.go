@@ -18,6 +18,7 @@ import (
 // endpointNames registers every instrumented endpoint with Metrics.
 var endpointNames = []string{
 	"recommend", "foldin", "explain", "batch", "ingest", "reload", "healthz", "metrics",
+	"shard_topm",
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -112,8 +113,8 @@ func (s *Server) requestFilters(sn *snapshot, exclude []int, spec *FilterSpec) (
 	var filters []rank.Filter
 	if len(exclude) > 0 {
 		for _, i := range exclude {
-			if i < 0 || i >= sn.model.NumItems() {
-				return nil, fmt.Errorf("exclude item %d out of range (%d items)", i, sn.model.NumItems())
+			if i < 0 || i >= sn.numItems() {
+				return nil, fmt.Errorf("exclude item %d out of range (%d items)", i, sn.numItems())
 			}
 		}
 		filters = append(filters, rank.ExcludeItems(exclude))
@@ -534,27 +535,56 @@ type ReloadResponse struct {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	// The endpoint takes no parameters, but an unread body is still
+	// received by the kernel — without the cap a client could stream an
+	// unbounded payload through the one POST endpoint that never decoded
+	// its body.
+	if _, err := io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)); err != nil {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+	}
 	if err := s.ReloadFromFile(); err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}
 	sn := s.snap.Load()
-	return writeJSON(w, http.StatusOK, ReloadResponse{
-		ModelVersion: sn.version,
-		Model:        sn.model.String(),
-		Mapped:       sn.mapped != nil,
-		Float32:      sn.mapped != nil && sn.mapped.HasFloat32(),
-	})
+	resp := ReloadResponse{ModelVersion: sn.version}
+	if sn.rng != nil {
+		resp.Model = sn.rng.String()
+		resp.Mapped = true
+		resp.Float32 = sn.rng.HasFloat32()
+	} else {
+		resp.Model = sn.model.String()
+		resp.Mapped = sn.mapped != nil
+		resp.Float32 = sn.mapped != nil && sn.mapped.HasFloat32()
+	}
+	return writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	sn := s.snap.Load()
 	health := map[string]any{
 		"status":        "ok",
-		"model":         sn.model.String(),
 		"model_version": sn.version,
 		"loaded_at":     sn.loadedAt.UTC().Format(time.RFC3339),
-		"mapped":        sn.mapped != nil,
-		"float32":       sn.mapped != nil && sn.mapped.HasFloat32(),
+	}
+	if sn.rng != nil {
+		// Shard health carries everything the router's Refresh needs to
+		// build its route table: catalogue shape, the item partition this
+		// shard owns, and the version history it can still serve.
+		health["model"] = sn.rng.String()
+		health["mapped"] = true
+		health["float32"] = sn.rng.HasFloat32()
+		health["users"] = sn.rng.NumUsers()
+		health["items"] = sn.rng.NumItems()
+		health["shard_lo"] = sn.rng.ItemLo()
+		health["shard_hi"] = sn.rng.ItemHi()
+		if prev := s.prev.Load(); prev != nil {
+			health["prev_version"] = prev.version
+		}
+	} else {
+		health["model"] = sn.model.String()
+		health["mapped"] = sn.mapped != nil
+		health["float32"] = sn.mapped != nil && sn.mapped.HasFloat32()
 	}
 	if s.cfg.Feed != nil {
 		health["feed_positives"] = s.cfg.Feed.Count()

@@ -1401,3 +1401,38 @@ func TestIngestGrowthHeadroom(t *testing.T) {
 		t.Errorf("feed count %d, want 1 (only the in-headroom pair)", got)
 	}
 }
+
+// TestMaxBodyEnforcedEverywhere: every POST endpoint — including
+// /v1/reload, which never decodes its body — rejects a payload over
+// MaxBodyBytes with 400 instead of draining it.
+func TestMaxBodyEnforcedEverywhere(t *testing.T) {
+	log, err := feed.Open(t.TempDir(), feed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	_, ts, _, _ := newTestServer(t, Config{Feed: log, MaxBodyBytes: 256})
+
+	huge := []byte(`{"user": 0, "items": [` + strings.Repeat("1,", 400) + `1]}`)
+	for _, path := range []string{"/v1/ingest", "/v1/recommend", "/v1/reload"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("POST %s with %d-byte body: status %d, want 400", path, len(huge), resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "exceeds") {
+			t.Errorf("POST %s: error %q does not mention the size cap", path, body)
+		}
+	}
+	// A small body still reloads fine.
+	if st := postJSON(t, ts.URL+"/v1/reload", struct{}{}, nil); st != 200 {
+		t.Errorf("small-body reload: status %d, want 200", st)
+	}
+	if st := postJSON(t, ts.URL+"/v1/ingest", map[string]any{"user": 1, "items": []int{2}}, nil); st != 200 {
+		t.Errorf("small-body ingest: status %d, want 200", st)
+	}
+}

@@ -78,7 +78,20 @@ type Config struct {
 	// rejected when no table is configured. The table may cover fewer
 	// items than the model (unlisted items carry no tags) but never more.
 	ItemTags *rank.TagTable
+	// ShardLo, ShardHi select shard mode (ShardHi != 0): the server mmaps
+	// only the item range [ShardLo, ShardHi) of the v2 model at ModelPath
+	// and serves per-shard top-M partials on /v1/shard/topm for a
+	// scatter-gather router to merge — see internal/cluster. ShardHi == -1
+	// means "through the end of the catalogue", re-resolved at every
+	// reload, so the tail shard of a partition follows catalogue growth.
+	// Shard servers are built with NewShardFromFile; they are cacheless
+	// (the router owns the fingerprint cache) and take no Feed.
+	ShardLo int
+	ShardHi int
 }
+
+// shardMode reports whether the configuration selects shard mode.
+func (c Config) shardMode() bool { return c.ShardHi != 0 }
 
 func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
@@ -112,9 +125,13 @@ type snapshot struct {
 	model *core.Model // full precision; fold-in, explanations, health
 	// scorer is the hot-path scorer: the mapped model when serving from
 	// an mmap (float32 section when present), otherwise model itself.
-	scorer   core.Scorer
-	mapped   *core.MappedModel // non-nil when serving straight from an mmap
-	train    *sparse.Matrix    // never nil; empty matrix when no exclusions
+	scorer core.Scorer
+	mapped *core.MappedModel // non-nil when serving straight from an mmap
+	// rng is the item-range mapping of shard mode; model, scorer and
+	// mapped are nil then — a shard answers only partial top-M queries,
+	// never fold-in or explanations.
+	rng      *core.MappedModelRange
+	train    *sparse.Matrix // never nil; empty matrix when no exclusions
 	version  uint64
 	loadedAt time.Time
 	// engine ranks this snapshot's scorer: it owns the pooled score
@@ -126,8 +143,16 @@ type snapshot struct {
 // Server answers recommendation queries over the current model snapshot.
 // All methods are safe for concurrent use.
 type Server struct {
-	cfg     Config
-	snap    atomic.Pointer[snapshot]
+	cfg  Config
+	snap atomic.Pointer[snapshot]
+	// prev keeps the previously served snapshot in shard mode only — a
+	// two-deep history. During a quorum rollout the router keeps pinning
+	// requests to the old version until every shard confirmed the new one;
+	// a shard that already reloaded serves those pinned requests from prev
+	// instead of failing them, which is what makes the rollout
+	// zero-downtime. Requests naming any other version are refused (409),
+	// so a merge of mixed versions is impossible by construction.
+	prev    atomic.Pointer[snapshot]
 	version atomic.Uint64
 	metrics *Metrics
 	// rankStats is shared across the snapshots' engines so cache and
@@ -154,31 +179,43 @@ func New(model *core.Model, cfg Config) (*Server, error) {
 	return newServer(model, nil, cfg)
 }
 
-func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server, error) {
-	// Negative CacheSize means "disable", but a negative limit would
-	// silently brick an endpoint (every request rejected, empty, or
-	// serial), so those are configuration errors — caught here, once,
-	// rather than surfacing as empty 200s or panics under load.
+// checkLimits validates and defaults the numeric limits shared by full and
+// shard servers. Negative CacheSize means "disable", but a negative limit
+// would silently brick an endpoint (every request rejected, empty, or
+// serial), so those are configuration errors — caught here, once, rather
+// than surfacing as empty 200s or panics under load.
+func checkLimits(cfg Config) (Config, error) {
 	switch {
 	case cfg.MaxM < 0:
-		return nil, fmt.Errorf("serve: MaxM must be >= 0, got %d", cfg.MaxM)
+		return cfg, fmt.Errorf("serve: MaxM must be >= 0, got %d", cfg.MaxM)
 	case cfg.MaxBatch < 0:
-		return nil, fmt.Errorf("serve: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
+		return cfg, fmt.Errorf("serve: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
 	case cfg.MaxBodyBytes < 0:
-		return nil, fmt.Errorf("serve: MaxBodyBytes must be >= 0, got %d", cfg.MaxBodyBytes)
+		return cfg, fmt.Errorf("serve: MaxBodyBytes must be >= 0, got %d", cfg.MaxBodyBytes)
 	case cfg.Workers < 0:
-		return nil, fmt.Errorf("serve: Workers must be >= 0, got %d", cfg.Workers)
+		return cfg, fmt.Errorf("serve: Workers must be >= 0, got %d", cfg.Workers)
 	case cfg.CacheShards < 0:
-		return nil, fmt.Errorf("serve: CacheShards must be >= 0, got %d", cfg.CacheShards)
+		return cfg, fmt.Errorf("serve: CacheShards must be >= 0, got %d", cfg.CacheShards)
 	case cfg.MaxIngestGrowth < 0:
-		return nil, fmt.Errorf("serve: MaxIngestGrowth must be >= 0, got %d", cfg.MaxIngestGrowth)
+		return cfg, fmt.Errorf("serve: MaxIngestGrowth must be >= 0, got %d", cfg.MaxIngestGrowth)
 	}
 	cfg = cfg.withDefaults()
 	// withDefaults must leave every limit usable; a zero that slipped
 	// through would serve empty lists with HTTP 200 (see clampM).
 	if cfg.MaxM <= 0 || cfg.MaxBatch <= 0 || cfg.MaxBodyBytes <= 0 {
-		return nil, fmt.Errorf("serve: internal error: limits not defaulted (MaxM=%d MaxBatch=%d MaxBodyBytes=%d)",
+		return cfg, fmt.Errorf("serve: internal error: limits not defaulted (MaxM=%d MaxBatch=%d MaxBodyBytes=%d)",
 			cfg.MaxM, cfg.MaxBatch, cfg.MaxBodyBytes)
+	}
+	return cfg, nil
+}
+
+func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server, error) {
+	if cfg.shardMode() {
+		return nil, fmt.Errorf("serve: shard servers are built with NewShardFromFile")
+	}
+	cfg, err := checkLimits(cfg)
+	if err != nil {
+		return nil, err
 	}
 	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
 	s.metrics = newMetrics(endpointNames, s.rankStats)
@@ -225,33 +262,9 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 	if model == nil {
 		return fmt.Errorf("serve: nil model")
 	}
-	train := s.cfg.Train
-	if train != nil && (train.Rows() > model.NumUsers() || train.Cols() > model.NumItems()) {
-		return fmt.Errorf("serve: model shape %dx%d does not cover train matrix %dx%d",
-			model.NumUsers(), model.NumItems(), train.Rows(), train.Cols())
-	}
-	if cached := s.paddedTrain; cached != nil &&
-		cached.Rows() == model.NumUsers() && cached.Cols() == model.NumItems() {
-		train = cached
-	} else {
-		if train != nil {
-			// A larger model is the continuous-training pipeline at work:
-			// the trainer grew the catalogue past the matrix this server
-			// was started with. Users and items beyond the configured
-			// matrix have no known positives, so padding with
-			// exclusion-free rows is the exact semantics.
-			train = train.PadTo(model.NumUsers(), model.NumItems())
-		} else {
-			train = sparse.NewBuilder(model.NumUsers(), model.NumItems()).Build()
-		}
-		// Materialize the transpose before the snapshot is published:
-		// sparse.Matrix builds it lazily and unsynchronized, and
-		// /v1/explain walks columns — two concurrent explains over a
-		// freshly padded matrix would race on the cache. The shape-keyed
-		// cache above makes this (and the padding) a one-off per
-		// catalogue growth, not an O(nnz) tax on every reload.
-		train.Transpose()
-		s.paddedTrain = train
+	train, err := s.trainFor(model.NumUsers(), model.NumItems())
+	if err != nil {
+		return err
 	}
 	if tags := s.cfg.ItemTags; tags != nil && tags.NumItems() > model.NumItems() {
 		return fmt.Errorf("serve: item tag table covers %d items but the model has %d",
@@ -276,6 +289,41 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 	}
 	s.snap.Store(sn)
 	return nil
+}
+
+// trainFor returns the configured exclusion matrix padded to the served
+// catalogue shape (users × items), transpose materialized, behind the
+// shape-keyed per-server cache. Guarded by reloadMu (install runs under
+// it, or single-threaded at construction).
+func (s *Server) trainFor(users, items int) (*sparse.Matrix, error) {
+	train := s.cfg.Train
+	if train != nil && (train.Rows() > users || train.Cols() > items) {
+		return nil, fmt.Errorf("serve: model shape %dx%d does not cover train matrix %dx%d",
+			users, items, train.Rows(), train.Cols())
+	}
+	if cached := s.paddedTrain; cached != nil &&
+		cached.Rows() == users && cached.Cols() == items {
+		return cached, nil
+	}
+	if train != nil {
+		// A larger model is the continuous-training pipeline at work:
+		// the trainer grew the catalogue past the matrix this server
+		// was started with. Users and items beyond the configured
+		// matrix have no known positives, so padding with
+		// exclusion-free rows is the exact semantics.
+		train = train.PadTo(users, items)
+	} else {
+		train = sparse.NewBuilder(users, items).Build()
+	}
+	// Materialize the transpose before the snapshot is published:
+	// sparse.Matrix builds it lazily and unsynchronized, and
+	// /v1/explain walks columns — two concurrent explains over a
+	// freshly padded matrix would race on the cache. The shape-keyed
+	// cache above makes this (and the padding) a one-off per
+	// catalogue growth, not an O(nnz) tax on every reload.
+	train.Transpose()
+	s.paddedTrain = train
+	return train, nil
 }
 
 // Reload atomically replaces the served model. In-flight requests finish
@@ -309,6 +357,18 @@ func (s *Server) ReloadFromFile() error {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	if s.cfg.shardMode() {
+		rng, err := core.OpenMappedModelRange(s.cfg.ModelPath, s.cfg.ShardLo, s.cfg.ShardHi)
+		if err != nil {
+			return err
+		}
+		if err := s.installShard(rng); err != nil {
+			_ = rng.Close()
+			return err
+		}
+		s.metrics.reloads.Add(1)
+		return nil
+	}
 	model, mapped, err := openModelFile(s.cfg.ModelPath)
 	if err != nil {
 		return err

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rank"
+)
+
+// Shard mode: one serve process owning an item partition of the catalogue.
+//
+// A shard mmaps only its item-range slice of the v2 model file (full user
+// sections, item rows [lo, hi)) and answers POST /v1/shard/topm with its
+// partition's top-min(m, partition size) items under the engine's tie
+// rule, item ids translated back to global. Because every item's score
+// depends only on that item's factor row and the user's factor, partition
+// scores are bit-identical to the corresponding entries of a
+// full-catalogue scoring pass — so a router merging shard partials with
+// rank.MergeTopM reproduces single-process serving exactly (same items,
+// same float64 bits). See internal/cluster for the router.
+//
+// Shards are deliberately cacheless and stateless: the router owns the
+// fingerprint cache and the singleflight, so a shard ranks every request
+// it sees. They serve /v1/reload and /healthz for the trainer's quorum
+// rollout, and nothing else of the full API — a shard cannot fold in,
+// explain, or ingest.
+
+// NewShardFromFile builds a shard-mode server serving the item range
+// [cfg.ShardLo, cfg.ShardHi) of the v2 model at cfg.ModelPath.
+// cfg.ShardHi == -1 means "through the end of the catalogue", re-resolved
+// at every reload. Shard mode requires a v2 model file (the range mmap has
+// no copying fallback) and refuses a Feed: ingest belongs on a full
+// server or the router, not on a partition.
+func NewShardFromFile(cfg Config) (*Server, error) {
+	if !cfg.shardMode() {
+		return nil, fmt.Errorf("serve: NewShardFromFile needs a shard range (ShardHi != 0)")
+	}
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("serve: shard mode needs Config.ModelPath (shards serve from an mmapped v2 file)")
+	}
+	if cfg.ShardLo < 0 || (cfg.ShardHi != -1 && cfg.ShardHi <= cfg.ShardLo) {
+		return nil, fmt.Errorf("serve: invalid shard range [%d,%d)", cfg.ShardLo, cfg.ShardHi)
+	}
+	if cfg.Feed != nil {
+		return nil, fmt.Errorf("serve: shard mode takes no Feed (run ingest on a full server)")
+	}
+	cfg, err := checkLimits(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
+	s.metrics = newMetrics(endpointNames, s.rankStats)
+	rng, err := core.OpenMappedModelRange(cfg.ModelPath, cfg.ShardLo, cfg.ShardHi)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.installShard(rng); err != nil {
+		_ = rng.Close()
+		return nil, err
+	}
+	s.mux = s.buildShardMux()
+	return s, nil
+}
+
+// installShard swaps in a fresh shard snapshot, retiring the current one
+// into the two-deep history (see Server.prev). Guarded by reloadMu, or
+// single-threaded at construction.
+func (s *Server) installShard(rng *core.MappedModelRange) error {
+	train, err := s.trainFor(rng.NumUsers(), rng.NumItems())
+	if err != nil {
+		return err
+	}
+	if tags := s.cfg.ItemTags; tags != nil && tags.NumItems() > rng.NumItems() {
+		return fmt.Errorf("serve: item tag table covers %d items but the model has %d",
+			tags.NumItems(), rng.NumItems())
+	}
+	sn := &snapshot{
+		rng:      rng,
+		train:    train,
+		version:  s.version.Add(1),
+		loadedAt: time.Now(),
+		// CacheSize -1 disables the engine cache: shards are cacheless by
+		// design — the router caches merged lists under its own
+		// epoch-qualified fingerprints.
+		engine: rank.NewEngine(rangeScorer{rng}, rank.Config{CacheSize: -1, Stats: s.rankStats}),
+	}
+	if old := s.snap.Load(); old != nil {
+		s.prev.Store(old)
+	}
+	s.snap.Store(sn)
+	return nil
+}
+
+// rangeScorer adapts the item-range mapping to the engine's Scorer: the
+// engine sees a catalogue of Len() partition-local items.
+type rangeScorer struct{ rng *core.MappedModelRange }
+
+func (r rangeScorer) ScoreUser(u int, dst []float64) { r.rng.ScoreItems(u, dst) }
+func (r rangeScorer) NumItems() int                  { return r.rng.Len() }
+
+// numUsers and numItems read the served catalogue shape in either mode —
+// shard snapshots carry no *core.Model. numItems is always the FULL
+// catalogue size, not the partition's: request validation (user ids,
+// exclude lists, tag tables) speaks global ids on shards too.
+func (sn *snapshot) numUsers() int {
+	if sn.rng != nil {
+		return sn.rng.NumUsers()
+	}
+	return sn.model.NumUsers()
+}
+
+func (sn *snapshot) numItems() int {
+	if sn.rng != nil {
+		return sn.rng.NumItems()
+	}
+	return sn.model.NumItems()
+}
+
+func (s *Server) buildShardMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/shard/topm", s.metrics.instrument("shard_topm", s.handleShardTopM))
+	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
+	return mux
+}
+
+// ShardTopMRequest asks a shard for its partition's contribution to one
+// user's top-M. ExpectVersion pins the model version the partial must be
+// computed against: a shard serving neither that version currently nor as
+// its immediate predecessor answers 409, so a router can never merge
+// partials from different model versions. 0 disables the pin (debugging).
+type ShardTopMRequest struct {
+	User          int         `json:"user"`
+	M             int         `json:"m,omitempty"`
+	ExcludeItems  []int       `json:"exclude_items,omitempty"`
+	Filter        *FilterSpec `json:"filter,omitempty"`
+	ExpectVersion uint64      `json:"expect_version,omitempty"`
+}
+
+// ShardTopMResponse is one partition's top-min(m, partition size) items,
+// global ids, ordered by the engine's tie rule (descending score, ties by
+// ascending item).
+type ShardTopMResponse struct {
+	User         int          `json:"user"`
+	ShardLo      int          `json:"shard_lo"`
+	ShardHi      int          `json:"shard_hi"`
+	ModelVersion uint64       `json:"model_version"`
+	Items        []ScoredItem `json:"items"`
+}
+
+func (s *Server) handleShardTopM(w http.ResponseWriter, r *http.Request) int {
+	var req ShardTopMRequest
+	if err := s.decode(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	m, err := s.clampM(req.M)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	sn := s.snap.Load()
+	if req.ExpectVersion != 0 && sn.version != req.ExpectVersion {
+		// Mid-rollout window: this shard already reloaded but the router
+		// still pins the old version until the whole quorum confirmed.
+		// Serve the pinned version from the two-deep history; refuse
+		// anything else — a 409 here is what makes merging partials of
+		// mixed model versions impossible rather than merely unlikely.
+		if prev := s.prev.Load(); prev != nil && prev.version == req.ExpectVersion {
+			sn = prev
+		} else {
+			return writeError(w, http.StatusConflict, fmt.Sprintf(
+				"shard serves model version %d, not the requested %d", sn.version, req.ExpectVersion))
+		}
+	}
+	if req.User < 0 || req.User >= sn.numUsers() {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("user %d out of range (%d users)", req.User, sn.numUsers()))
+	}
+	extra, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	// Same filter stack as recommendOne, rebased into partition-local
+	// index space; the training-row exclusion keeps the offline protocol
+	// on shards too.
+	lo, hi := sn.rng.ItemLo(), sn.rng.ItemHi()
+	filters := make([]rank.Filter, 0, len(extra)+1)
+	filters = append(filters, rank.OffsetRange(rank.TrainRow(sn.train, req.User), lo, hi))
+	for _, f := range extra {
+		filters = append(filters, rank.OffsetRange(f, lo, hi))
+	}
+	items, scores, _ := sn.engine.TopM(req.User, m, filters...)
+	scored := make([]ScoredItem, len(items))
+	for n := range items {
+		scored[n] = ScoredItem{Item: items[n] + lo, Score: scores[n]}
+	}
+	return writeJSON(w, http.StatusOK, ShardTopMResponse{
+		User:         req.User,
+		ShardLo:      lo,
+		ShardHi:      hi,
+		ModelVersion: sn.version,
+		Items:        scored,
+	})
+}

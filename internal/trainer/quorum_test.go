@@ -1,0 +1,298 @@
+package trainer
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/feed"
+	"repro/internal/serve"
+	"repro/internal/sparse"
+)
+
+// shardedTier stands up a real sharded serving tier over the model at
+// modelPath: item-partitioned serve shards (tail shard open-ended) and a
+// cluster router in front of them, all on httptest listeners.
+type shardedTier struct {
+	shards    []*serve.Server
+	shardURLs []string
+	router    *cluster.Router
+	routerURL string
+}
+
+func newShardedTier(t testing.TB, base *sparse.Matrix, modelPath string, nShards int) *shardedTier {
+	t.Helper()
+	items := base.Cols()
+	per := items / nShards
+	tier := &shardedTier{}
+	for s := 0; s < nShards; s++ {
+		lo, hi := s*per, (s+1)*per
+		if s == nShards-1 {
+			hi = -1 // tail: through the end of the catalogue, following growth
+		}
+		srv, err := serve.NewShardFromFile(serve.Config{
+			ModelPath: modelPath, Train: base, ShardLo: lo, ShardHi: hi,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		tier.shards = append(tier.shards, srv)
+		tier.shardURLs = append(tier.shardURLs, ts.URL)
+	}
+	rt, err := cluster.New(cluster.Config{Shards: tier.shardURLs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	tier.router = rt
+	tier.routerURL = ts.URL
+	return tier
+}
+
+// TestQuorumRollout is the sharded-tier acceptance path: new positives
+// arrive, the trainer retrains, every shard confirms the versioned
+// reload handshake, the router's route table flips with a strictly
+// advancing epoch, and the router's cache is warmed through the
+// scatter-gather path — while requests keep succeeding throughout.
+func TestQuorumRollout(t *testing.T) {
+	base := dataset.SyntheticSmall(21).Dataset.R
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	seedModel(t, base, modelPath)
+	tier := newShardedTier(t, base, modelPath, 3)
+
+	feedDir := filepath.Join(dir, "feed")
+	writeFeed(t, feedDir,
+		feed.Event{User: 2, Item: 7}, feed.Event{User: 5, Item: 1}, feed.Event{User: 9, Item: 3})
+
+	tr, err := New(Config{
+		FeedDir:        feedDir,
+		Base:           base,
+		Train:          testTrainCfg,
+		ModelPath:      modelPath,
+		ShardURLs:      tier.shardURLs,
+		RouterURL:      tier.routerURL,
+		WarmCacheUsers: 8,
+		WarmCacheM:     5,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := tr.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(cy.ShardVersions) != 3 {
+		t.Fatalf("ShardVersions = %v, want 3 confirmations", cy.ShardVersions)
+	}
+	for i, v := range cy.ShardVersions {
+		if v != 2 {
+			t.Errorf("shard %d confirmed version %d, want 2", i, v)
+		}
+	}
+	// Initial Refresh was epoch 1; the trainer's flip must advance it.
+	if cy.RouterEpoch != 2 {
+		t.Errorf("RouterEpoch = %d, want 2", cy.RouterEpoch)
+	}
+	if cy.CacheWarmed != 8 {
+		t.Errorf("CacheWarmed = %d, want 8 (warmed through the router)", cy.CacheWarmed)
+	}
+
+	// The router serves from the flipped table, and the warm left real
+	// entries in its cache.
+	var rec struct {
+		Items      []struct{ Item int } `json:"items"`
+		RouteEpoch uint64               `json:"route_epoch"`
+	}
+	postJSON(t, tier.routerURL+"/v1/recommend", map[string]any{"user": 2, "m": 5}, &rec, 200)
+	if rec.RouteEpoch != 2 || len(rec.Items) != 5 {
+		t.Fatalf("post-rollout recommend: epoch=%d items=%d, want epoch 2 and 5 items", rec.RouteEpoch, len(rec.Items))
+	}
+	var metrics struct {
+		Cache struct {
+			Entries int64 `json:"entries"`
+		} `json:"cache"`
+	}
+	getJSON(t, tier.routerURL+"/metrics", &metrics)
+	if metrics.Cache.Entries < 8 {
+		t.Errorf("router cache holds %d lists after warming, want >= 8", metrics.Cache.Entries)
+	}
+}
+
+// TestQuorumAbortsBeforeFlip: a shard failing the reload handshake
+// aborts the cycle before the router is flipped — the route table keeps
+// its old epoch and old version pins, and requests keep being served
+// (shards answer pinned requests from their snapshot history even after
+// they themselves reloaded).
+func TestQuorumAbortsBeforeFlip(t *testing.T) {
+	base := dataset.SyntheticSmall(22).Dataset.R
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	seedModel(t, base, modelPath)
+	tier := newShardedTier(t, base, modelPath, 2)
+
+	// A shard that is down: its listener is closed before the rollout.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	feedDir := filepath.Join(dir, "feed")
+	writeFeed(t, feedDir, feed.Event{User: 1, Item: 2})
+
+	tr, err := New(Config{
+		FeedDir:   feedDir,
+		Base:      base,
+		Train:     testTrainCfg,
+		ModelPath: modelPath,
+		// The live shards confirm first; the dead one aborts the quorum.
+		ShardURLs: append(append([]string{}, tier.shardURLs...), dead.URL),
+		RouterURL: tier.routerURL,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tr.RunOnce(context.Background())
+	if err == nil {
+		t.Fatal("quorum rollout with a dead shard succeeded")
+	}
+	if !strings.Contains(err.Error(), "router not flipped") {
+		t.Errorf("error %q does not state that the router was not flipped", err)
+	}
+
+	// Not flipped: the router still serves epoch 1 with version-1 pins,
+	// and requests still succeed although both live shards already hold
+	// version 2 (their snapshot history answers the pinned requests).
+	var health struct {
+		Epoch  uint64 `json:"epoch"`
+		Shards []struct {
+			Version uint64 `json:"model_version"`
+		} `json:"shards"`
+	}
+	getJSON(t, tier.routerURL+"/healthz", &health)
+	if health.Epoch != 1 {
+		t.Fatalf("router epoch %d after aborted rollout, want 1 (unflipped)", health.Epoch)
+	}
+	for i, sh := range health.Shards {
+		if sh.Version != 1 {
+			t.Errorf("route table pins shard %d to version %d, want 1", i, sh.Version)
+		}
+	}
+	for i, srv := range tier.shards {
+		if v := srv.Version(); v != 2 {
+			t.Errorf("live shard %d at version %d, want 2 (reloaded before the abort)", i, v)
+		}
+	}
+	var rec struct {
+		Items      []struct{ Item int } `json:"items"`
+		RouteEpoch uint64               `json:"route_epoch"`
+	}
+	postJSON(t, tier.routerURL+"/v1/recommend", map[string]any{"user": 3, "m": 4}, &rec, 200)
+	if rec.RouteEpoch != 1 || len(rec.Items) != 4 {
+		t.Fatalf("mid-rollout recommend: epoch=%d items=%d, want epoch 1 and 4 items", rec.RouteEpoch, len(rec.Items))
+	}
+}
+
+// TestQuorumFlipEpochCheck: a router whose flip does not advance the
+// epoch fails the rollout — the trainer refuses to count a no-op flip
+// as a confirmed rollout.
+func TestQuorumFlipEpochCheck(t *testing.T) {
+	base := dataset.SyntheticSmall(23).Dataset.R
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "model.bin")
+	seedModel(t, base, modelPath)
+
+	// A fake shard that plays the reload handshake correctly...
+	var version atomic.Uint64
+	version.Store(1)
+	shard := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprintf(w, `{"model_version": %d}`, version.Load())
+		case "/v1/reload":
+			fmt.Fprintf(w, `{"model_version": %d, "model": "fake", "mapped": true, "float32": true}`, version.Add(1))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer shard.Close()
+	// ...and a broken router whose epoch never moves.
+	router := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"epoch": 5}`)
+	}))
+	defer router.Close()
+
+	feedDir := filepath.Join(dir, "feed")
+	writeFeed(t, feedDir, feed.Event{User: 1, Item: 1})
+	tr, err := New(Config{
+		FeedDir:   feedDir,
+		Base:      base,
+		Train:     testTrainCfg,
+		ModelPath: modelPath,
+		ShardURLs: []string{shard.URL},
+		RouterURL: router.URL,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := tr.RunOnce(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "did not advance") {
+		t.Fatalf("stuck-epoch flip: err = %v, want an epoch-advance failure", err)
+	}
+	if len(cy.ShardVersions) != 1 || cy.ShardVersions[0] != 2 {
+		t.Errorf("ShardVersions = %v, want the shard's confirmed version 2", cy.ShardVersions)
+	}
+	if cy.RouterEpoch != 0 {
+		t.Errorf("RouterEpoch = %d, want 0 (flip unconfirmed)", cy.RouterEpoch)
+	}
+}
+
+// TestQuorumConfigValidation pins the mutual exclusion between the
+// single-server and sharded rollout targets.
+func TestQuorumConfigValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := Config{FeedDir: dir, ModelPath: filepath.Join(dir, "m.bin"), Train: testTrainCfg}
+	for name, mutate := range map[string]func(Config) Config{
+		"server and shards": func(c Config) Config {
+			c.ServerURL, c.ShardURLs, c.RouterURL = "http://s", []string{"http://a"}, "http://r"
+			return c
+		},
+		"server and router": func(c Config) Config {
+			c.ServerURL, c.RouterURL = "http://s", "http://r"
+			return c
+		},
+		"shards without router": func(c Config) Config {
+			c.ShardURLs = []string{"http://a"}
+			return c
+		},
+		"router without shards": func(c Config) Config {
+			c.RouterURL = "http://r"
+			return c
+		},
+	} {
+		if _, err := New(mutate(good)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := New(func(c Config) Config {
+		c.ShardURLs, c.RouterURL = []string{"http://a", "http://b"}, "http://r"
+		return c
+	}(good)); err != nil {
+		t.Errorf("valid sharded config rejected: %v", err)
+	}
+}

@@ -67,8 +67,22 @@ type Config struct {
 	// ServerURL, when non-empty, is the serve process to roll new models
 	// out to (e.g. "http://localhost:8080"): after every save the trainer
 	// POSTs /v1/reload there and verifies the returned model version
-	// strictly advanced.
+	// strictly advanced. Mutually exclusive with ShardURLs/RouterURL.
 	ServerURL string
+	// ShardURLs, with RouterURL, selects the sharded-tier rollout: after
+	// every save the trainer runs the versioned reload handshake against
+	// EVERY shard (the quorum — all of them must confirm), then flips the
+	// router's route table via /v1/admin/flip and verifies its epoch
+	// advanced. Until the flip, the router keeps pinning requests to the
+	// old model version, which shards still serve from their snapshot
+	// history — so the rollout is zero-downtime and no request ever
+	// merges mixed versions. A shard failing the handshake aborts the
+	// cycle before the flip: the router keeps serving the old version
+	// everywhere.
+	ShardURLs []string
+	// RouterURL is the scatter-gather router owning the route table (and
+	// the cache warmed after a sharded rollout). Required with ShardURLs.
+	RouterURL string
 	// MaxGrowth bounds how far beyond the known catalogue (base matrix,
 	// previous model) one cycle may grow the training matrix; feed events
 	// naming larger ids are skipped (and logged), not trained. Without the
@@ -151,6 +165,11 @@ type Cycle struct {
 	ServerVersion uint64
 	Mapped        bool
 	ServedFloat32 bool
+	// ShardVersions are the model versions each shard confirmed in a
+	// sharded (quorum) rollout, in Config.ShardURLs order; RouterEpoch is
+	// the route-table epoch the router confirmed after the flip.
+	ShardVersions []uint64
+	RouterEpoch   uint64
 	// CacheWarmed is the number of hot users whose top-M lists were
 	// ranked into the server's cache after the rollout.
 	CacheWarmed int
@@ -202,6 +221,12 @@ func New(cfg Config) (*Trainer, error) {
 		return nil, fmt.Errorf("trainer: WarmCacheUsers must be >= 0, got %d", cfg.WarmCacheUsers)
 	case cfg.MaxGrowth < 0:
 		return nil, fmt.Errorf("trainer: MaxGrowth must be >= 0, got %d", cfg.MaxGrowth)
+	case cfg.ServerURL != "" && (len(cfg.ShardURLs) > 0 || cfg.RouterURL != ""):
+		return nil, fmt.Errorf("trainer: ServerURL and the sharded rollout (ShardURLs/RouterURL) are mutually exclusive")
+	case len(cfg.ShardURLs) > 0 && cfg.RouterURL == "":
+		return nil, fmt.Errorf("trainer: ShardURLs needs RouterURL (the router owning the route table to flip)")
+	case cfg.RouterURL != "" && len(cfg.ShardURLs) == 0:
+		return nil, fmt.Errorf("trainer: RouterURL needs ShardURLs (the shards to quorum-reload before the flip)")
 	}
 	cfg = cfg.withDefaults()
 	// The trainer only reads the feed, but the ingest writer may not have
@@ -302,13 +327,13 @@ func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
 		if estErr != nil {
 			t.savedEstimate = -1 // unknown: never matches, retries retrain
 		}
-		t.rolloutPending = t.cfg.ServerURL != ""
+		t.rolloutPending = t.hasRolloutTarget()
 		if t.cfg.WarmCacheUsers > 0 {
 			t.hotUsers = hottestUsers(m, t.cfg.WarmCacheUsers)
 		}
 	}
 
-	if t.cfg.ServerURL != "" {
+	if t.hasRolloutTarget() {
 		if err := t.rollout(ctx, cy); err != nil {
 			// The backlog markers deliberately stay put: Run's next poll
 			// still sees the backlog and retries (the cheap
@@ -369,17 +394,30 @@ func (t *Trainer) buildMatrix(events []feed.Event) (*sparse.Matrix, int64) {
 	return b.Build(), skipped
 }
 
-// rollout pushes the saved model to the server, verifies the versioned
-// reload handshake, and warms the rank cache for the hottest users
+// hasRolloutTarget reports whether a serving tier is configured to
+// receive new models — a single server or a sharded tier.
+func (t *Trainer) hasRolloutTarget() bool {
+	return t.cfg.ServerURL != "" || len(t.cfg.ShardURLs) > 0
+}
+
+// rollout pushes the saved model to the serving tier — a single server's
+// versioned reload, or the sharded tier's quorum handshake + router flip
+// — and warms the front-end's rank cache for the hottest users
 // (t.hotUsers, computed when the model was trained).
 func (t *Trainer) rollout(ctx context.Context, cy *Cycle) error {
-	resp, err := t.pushReload(ctx)
-	if err != nil {
-		return err
+	if len(t.cfg.ShardURLs) > 0 {
+		if err := t.rolloutQuorum(ctx, cy); err != nil {
+			return err
+		}
+	} else {
+		resp, err := t.pushReload(ctx, t.cfg.ServerURL)
+		if err != nil {
+			return fmt.Errorf("trainer: rollout: %w", err)
+		}
+		cy.ServerVersion, cy.Mapped, cy.ServedFloat32 = resp.ModelVersion, resp.Mapped, resp.Float32
+		t.cfg.Logf("rollout confirmed: server at version %d (%s, mapped=%v float32=%v)",
+			resp.ModelVersion, resp.Model, resp.Mapped, resp.Float32)
 	}
-	cy.ServerVersion, cy.Mapped, cy.ServedFloat32 = resp.ModelVersion, resp.Mapped, resp.Float32
-	t.cfg.Logf("rollout confirmed: server at version %d (%s, mapped=%v float32=%v)",
-		resp.ModelVersion, resp.Model, resp.Mapped, resp.Float32)
 	if len(t.hotUsers) > 0 {
 		warmed, err := t.warmCache(ctx)
 		cy.CacheWarmed = warmed
@@ -394,6 +432,72 @@ func (t *Trainer) rollout(ctx context.Context, cy *Cycle) error {
 	return nil
 }
 
+// rolloutQuorum rolls a saved model out to the sharded tier: the
+// versioned reload handshake against every shard (all must confirm
+// before anything is flipped — a partial quorum aborts with the router,
+// and so every request, still on the old version), then the router's
+// route-table flip, confirmed by a strictly advancing epoch. The order
+// is what makes the rollout safe: shards keep serving the old version
+// from their snapshot history to version-pinned requests, so nothing
+// changes for clients until the flip lands atomically.
+func (t *Trainer) rolloutQuorum(ctx context.Context, cy *Cycle) error {
+	versions := make([]uint64, 0, len(t.cfg.ShardURLs))
+	for _, u := range t.cfg.ShardURLs {
+		resp, err := t.pushReload(ctx, u)
+		if err != nil {
+			return fmt.Errorf("trainer: quorum rollout: shard %s: %w (router not flipped; the old model keeps serving)", u, err)
+		}
+		versions = append(versions, resp.ModelVersion)
+		t.cfg.Logf("shard %s confirmed version %d (%s)", u, resp.ModelVersion, resp.Model)
+	}
+	cy.ShardVersions = versions
+
+	before, err := t.routerEpoch(ctx)
+	if err != nil {
+		return fmt.Errorf("trainer: quorum rollout: reading router epoch: %w", err)
+	}
+	var flip struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := t.postJSON(ctx, t.cfg.RouterURL, "/v1/admin/flip", nil, &flip); err != nil {
+		return fmt.Errorf("trainer: quorum rollout: router flip: %w", err)
+	}
+	if flip.Epoch <= before {
+		return fmt.Errorf("trainer: quorum rollout not confirmed: router epoch %d did not advance past %d",
+			flip.Epoch, before)
+	}
+	cy.RouterEpoch = flip.Epoch
+	t.cfg.Logf("quorum rollout confirmed: %d shards reloaded, router at epoch %d", len(versions), flip.Epoch)
+	return nil
+}
+
+// routerEpoch reads the router's current route-table epoch from
+// /healthz; a router that has no table yet (HTTP 503) is epoch 0.
+func (t *Trainer) routerEpoch(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.RouterURL+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/healthz: HTTP %d", resp.StatusCode)
+	}
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
+		return 0, err
+	}
+	return health.Epoch, nil
+}
+
 // reloadResponse mirrors serve.ReloadResponse.
 type reloadResponse struct {
 	ModelVersion uint64 `json:"model_version"`
@@ -402,32 +506,33 @@ type reloadResponse struct {
 	Float32      bool   `json:"float32"`
 }
 
-// pushReload runs the versioned reload handshake: observe the server's
-// current model version, POST /v1/reload, and require the response to
-// show a strictly newer version — proving the swap landed rather than
-// silently re-serving a stale snapshot. Comparing against the version
-// observed immediately before the push (not a counter kept across
-// cycles) keeps the handshake correct when the serve process restarts
-// and its version counter resets.
-func (t *Trainer) pushReload(ctx context.Context) (reloadResponse, error) {
-	before, err := t.serverVersion(ctx)
+// pushReload runs the versioned reload handshake against one serve
+// process (a full server or a shard — the protocol is identical):
+// observe its current model version, POST /v1/reload, and require the
+// response to show a strictly newer version — proving the swap landed
+// rather than silently re-serving a stale snapshot. Comparing against
+// the version observed immediately before the push (not a counter kept
+// across cycles) keeps the handshake correct when the serve process
+// restarts and its version counter resets.
+func (t *Trainer) pushReload(ctx context.Context, base string) (reloadResponse, error) {
+	before, err := t.serverVersion(ctx, base)
 	if err != nil {
-		return reloadResponse{}, fmt.Errorf("trainer: rollout: %w", err)
+		return reloadResponse{}, err
 	}
 	var out reloadResponse
-	if err := t.postJSON(ctx, "/v1/reload", nil, &out); err != nil {
-		return out, fmt.Errorf("trainer: rollout: %w", err)
+	if err := t.postJSON(ctx, base, "/v1/reload", nil, &out); err != nil {
+		return out, err
 	}
 	if out.ModelVersion <= before {
-		return out, fmt.Errorf("trainer: rollout not confirmed: server version %d did not advance past %d",
+		return out, fmt.Errorf("reload not confirmed: model version %d did not advance past %d",
 			out.ModelVersion, before)
 	}
 	return out, nil
 }
 
-// serverVersion reads the served model version from /healthz.
-func (t *Trainer) serverVersion(ctx context.Context) (uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.ServerURL+"/healthz", nil)
+// serverVersion reads the served model version from base's /healthz.
+func (t *Trainer) serverVersion(ctx context.Context, base string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
 		return 0, err
 	}
@@ -448,13 +553,21 @@ func (t *Trainer) serverVersion(ctx context.Context) (uint64, error) {
 	return health.ModelVersion, nil
 }
 
-// warmCache drives the server's ranking engine for the hottest users so
-// the first organic requests after a rollout hit a full cache instead of
-// all missing at once (every reload installs a fresh, empty cache). Hot
+// warmCache drives the front end's ranking engine for the hottest users
+// so the first organic requests after a rollout hit a full cache instead
+// of all missing at once (every reload installs a fresh, empty cache; a
+// router flip invalidates cached lists by fingerprinting the epoch). Hot
 // users are those with the most training positives — the users likeliest
 // to be requested, and the rows whose exclusion filters make ranking
-// most expensive. Returns how many users were warmed.
+// most expensive. In a sharded tier the warm goes through the router —
+// the cache lives there, and warming through it exercises the very
+// scatter-gather path organic traffic takes. Returns how many users
+// were warmed.
 func (t *Trainer) warmCache(ctx context.Context) (int, error) {
+	base := t.cfg.ServerURL
+	if base == "" {
+		base = t.cfg.RouterURL
+	}
 	users := t.hotUsers
 	warmed := 0
 	// Chunk well below serve's default 1024-user batch cap.
@@ -467,7 +580,7 @@ func (t *Trainer) warmCache(ctx context.Context) (int, error) {
 				Error string `json:"error"`
 			} `json:"results"`
 		}
-		if err := t.postJSON(ctx, "/v1/batch", req, &resp); err != nil {
+		if err := t.postJSON(ctx, base, "/v1/batch", req, &resp); err != nil {
 			return warmed, fmt.Errorf("trainer: cache warm: %w", err)
 		}
 		for _, r := range resp.Results {
@@ -502,10 +615,10 @@ func hottestUsers(m *sparse.Matrix, n int) []int {
 	return users
 }
 
-// postJSON POSTs body (nil for empty) to the server and decodes the
+// postJSON POSTs body (nil for empty) to base+path and decodes the
 // response into out, surfacing the server's {"error": ...} payload on
 // non-200 statuses.
-func (t *Trainer) postJSON(ctx context.Context, path string, body, out any) error {
+func (t *Trainer) postJSON(ctx context.Context, base, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -514,7 +627,7 @@ func (t *Trainer) postJSON(ctx context.Context, path string, body, out any) erro
 		}
 		rd = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.cfg.ServerURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, rd)
 	if err != nil {
 		return err
 	}

@@ -185,6 +185,19 @@ type Scorer = core.Scorer
 // LoadModelFile.
 func OpenMappedModel(path string) (*MappedModel, error) { return core.OpenMappedModel(path) }
 
+// MappedModelRange is an item-partitioned slice of an mmapped v2 model:
+// all users, items [lo, hi) — what one shard of the sharded serving tier
+// maps (cmd/ocular-serve -shard-lo/-shard-hi behind cmd/ocular-router).
+type MappedModelRange = core.MappedModelRange
+
+// OpenMappedModelRange maps only the item range [itemLo, itemHi) of the
+// v2 model file at path (itemHi -1 means through the end of the
+// catalogue). Scores over the slice are bit-identical to the same items
+// scored through the full model.
+func OpenMappedModelRange(path string, itemLo, itemHi int) (*MappedModelRange, error) {
+	return core.OpenMappedModelRange(path, itemLo, itemHi)
+}
+
 // --- Evaluation -----------------------------------------------------------
 
 // Recommender is the scoring interface all algorithms implement.
