@@ -11,8 +11,9 @@
 //	POST /v1/recommend   {"user": 3, "m": 10}  top-M, bit-identical to one full server
 //	POST /v1/batch       {"users": [1,2,3]}    many users, worker-pool fan-out
 //	POST /v1/admin/flip                         re-read shard versions/ranges (trainer rollout)
-//	GET  /healthz                               route table: epoch, shard versions, ranges
-//	GET  /metrics                               scatter, hedge, cache and error counters
+//	GET  /healthz                               route table: epoch, shard versions, ranges, breaker/health states
+//	GET  /readyz                                readiness (503 until the first route table, and while draining)
+//	GET  /metrics                               scatter, hedge, breaker, prober, admission and cache counters
 //
 // The router owns the top-M cache and singleflight (shards are
 // cacheless); every scatter pins each shard to the model version in the
@@ -23,11 +24,21 @@
 // Shard failures fail requests closed (502) by default; -allow-degraded
 // instead merges the surviving shards' partials and marks the response
 // "degraded" (degraded lists are never cached). -hedge launches a second
-// attempt against a slow shard after the given delay.
+// attempt against a slow shard after the given delay, bounded by
+// -retry-budget.
+//
+// The tier self-heals: per-shard circuit breakers (-breaker-threshold,
+// -breaker-cooldown) stop burning timeouts on a shard that keeps
+// failing, a background prober (-probe) marks unreachable or
+// version-skewed shards down and returns them to rotation when their
+// /readyz recovers, -request-timeout propagates the remaining deadline
+// budget to shards (exhaustion is 504, not 502), and -max-inflight
+// admission control sheds overload with 429 + Retry-After instead of
+// queueing without bound. See the README's "Operating the cluster".
 //
 // At startup the router retries the initial shard refresh until -startup
 // elapses, so shards and router can start in any order; SIGINT/SIGTERM
-// drain connections and exit.
+// flip /readyz to 503, wait -drain-wait, then drain connections and exit.
 package main
 
 import (
@@ -64,6 +75,17 @@ func main() {
 		hedge         = flag.Duration("hedge", 0, "launch a second attempt against a slow shard after this delay (0 = off)")
 		allowDegraded = flag.Bool("allow-degraded", false, "serve from surviving shards when others fail (responses marked \"degraded\") instead of failing closed")
 		startup       = flag.Duration("startup", 30*time.Second, "how long to retry the initial shard refresh before giving up")
+
+		reqTimeout  = flag.Duration("request-timeout", 0, "end-to-end deadline per request, propagated to shards; exhaustion is 504 (0 = off)")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive shard failures that trip its circuit breaker (0 = 5; negative disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker fails fast before a half-open trial (0 = 1s)")
+		probe       = flag.Duration("probe", 0, "health-probe interval for route repair (0 = 2s; probing starts once the tier is up)")
+		noProbe     = flag.Bool("no-probe", false, "disable background health probing")
+		retryBudget = flag.Float64("retry-budget", 0, "hedge retries allowed per primary attempt in a 10s window (0 = 0.2; negative = unlimited)")
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent data-plane requests (0 = unbounded)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: waiters beyond -max-inflight before shedding 429 (0 = 2x max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long a queued request may wait for a slot (0 = 100ms)")
+		drainWait   = flag.Duration("drain-wait", 3*time.Second, "on SIGTERM, how long /readyz reports unready before connections drain")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -77,18 +99,26 @@ func main() {
 	}
 
 	rt, err := cluster.New(cluster.Config{
-		Shards:        urls,
-		MaxM:          *maxM,
-		MaxBatch:      *maxBatch,
-		MaxBodyBytes:  *maxBody,
-		CacheSize:     *cacheSize,
-		CacheShards:   *cacheShards,
-		Workers:       *workers,
-		MaxFanout:     *maxFanout,
-		Timeout:       *timeout,
-		HedgeDelay:    *hedge,
-		AllowDegraded: *allowDegraded,
-		Logf:          log.Printf,
+		Shards:           urls,
+		MaxM:             *maxM,
+		MaxBatch:         *maxBatch,
+		MaxBodyBytes:     *maxBody,
+		CacheSize:        *cacheSize,
+		CacheShards:      *cacheShards,
+		Workers:          *workers,
+		MaxFanout:        *maxFanout,
+		Timeout:          *timeout,
+		HedgeDelay:       *hedge,
+		AllowDegraded:    *allowDegraded,
+		RequestTimeout:   *reqTimeout,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		ProbeInterval:    *probe,
+		RetryBudget:      *retryBudget,
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		QueueWait:        *queueWait,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +146,12 @@ func main() {
 		}
 	}
 
+	// The prober starts only after the tier is known up: route repair
+	// heals an established table, it does not gate startup.
+	if !*noProbe {
+		rt.StartProber(ctx)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           rt.Handler(),
@@ -128,7 +164,9 @@ func main() {
 		log.Fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down (draining in-flight requests)")
+	rt.BeginDrain()
+	log.Printf("shutting down (/readyz now 503; draining for %v before closing)", *drainWait)
+	time.Sleep(*drainWait)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -14,6 +14,7 @@
 //	POST /v1/ingest     {"user": 3, "items": [7]} append new positives to -feed
 //	POST /v1/reload                                hot-swap the model from -model
 //	GET  /healthz                                  liveness + model version
+//	GET  /readyz                                   readiness (503 while loading or draining)
 //	GET  /metrics                                  request counts, latencies, cache stats
 //
 // With -feed, /v1/ingest appends new positives to the interaction feed
@@ -97,6 +98,11 @@ func main() {
 
 		shardLo = flag.Int("shard-lo", 0, "shard mode: first item (inclusive) of the served partition")
 		shardHi = flag.Int("shard-hi", 0, "shard mode: item upper bound (exclusive; -1 = end of catalogue; 0 = full-catalogue mode)")
+
+		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent data-plane requests (0 = unbounded)")
+		maxQueue    = flag.Int("max-queue", 0, "admission control: waiters beyond -max-inflight before shedding 429 (0 = 2x max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long a queued request may wait for a slot (0 = 100ms)")
+		drainWait   = flag.Duration("drain-wait", 3*time.Second, "on SIGTERM, how long /readyz reports unready before connections drain (lets balancers stop sending)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -117,6 +123,9 @@ func main() {
 		MaxBatch:        *maxBatch,
 		MaxBodyBytes:    *maxBody,
 		MaxIngestGrowth: *maxGrowth,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		QueueWait:       *queueWait,
 	}
 	if *dataPath != "" || *preset != "" {
 		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)
@@ -199,7 +208,7 @@ func main() {
 		}
 	}()
 
-	err = runServer(httpSrv)
+	err = runServer(httpSrv, srv, *drainWait)
 	// The feed writer buffers appends; a drained shutdown must not lose
 	// the tail of the interaction log, so sync and close it explicitly
 	// before deciding the exit status (log.Fatal would skip deferred
@@ -235,10 +244,12 @@ func modelNumItems(path string) (int, error) {
 	return model.NumItems(), nil
 }
 
-// runServer serves until SIGINT/SIGTERM, then drains in-flight requests
-// under a deadline. It returns instead of exiting so the caller can
-// flush state (the feed writer) whatever the outcome.
-func runServer(httpSrv *http.Server) error {
+// runServer serves until SIGINT/SIGTERM, then drains: readiness flips
+// to 503 first so load balancers stop routing here, the data path keeps
+// serving stragglers for drainWait, and only then are connections shut
+// down. It returns instead of exiting so the caller can flush state
+// (the feed writer) whatever the outcome.
+func runServer(httpSrv *http.Server, srv *serve.Server, drainWait time.Duration) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -248,7 +259,9 @@ func runServer(httpSrv *http.Server) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("shutting down (draining in-flight requests)")
+	srv.BeginDrain()
+	log.Printf("shutting down (/readyz now 503; draining for %v before closing)", drainWait)
+	time.Sleep(drainWait)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,198 @@
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how the Proxy treats a connection. The mode is read once
+// per accepted connection; changing it affects new connections (an
+// already-trickling connection keeps trickling until it dies).
+type Mode int32
+
+const (
+	// ModePass forwards bytes both ways untouched.
+	ModePass Mode = iota
+	// ModeRefuse accepts and immediately closes — the crashed process
+	// whose port is still bound.
+	ModeRefuse
+	// ModeHang accepts and reads the request but never answers — the
+	// hung shard. The client's deadline is the only way out.
+	ModeHang
+	// ModeTrickle forwards the request, then leaks the response back one
+	// byte per trickle interval — the slow-loris shard that holds a
+	// router slot as long as the router lets it.
+	ModeTrickle
+)
+
+// Proxy is a byte-level TCP proxy in front of one target, driving faults
+// the RoundTripper cannot express: the connection is accepted and the
+// failure happens inside it. Safe for concurrent use.
+type Proxy struct {
+	target  string
+	ln      net.Listener
+	mode    atomic.Int32
+	trickle atomic.Int64 // nanoseconds between trickled bytes
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewProxy listens on a fresh localhost port and proxies to target (a
+// base URL like "http://127.0.0.1:1234" or a bare host:port). It starts
+// in ModePass.
+func NewProxy(target string) (*Proxy, error) {
+	target = strings.TrimPrefix(strings.TrimPrefix(target, "http://"), "https://")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: proxy listen: %w", err)
+	}
+	p := &Proxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.trickle.Store(int64(20 * time.Millisecond))
+	go p.acceptLoop()
+	return p, nil
+}
+
+// URL returns the proxy's base URL — what the router should be pointed
+// at instead of the shard.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetMode switches the fault mode for new connections.
+func (p *Proxy) SetMode(m Mode) { p.mode.Store(int32(m)) }
+
+// SetTrickle sets the per-byte delay of ModeTrickle.
+func (p *Proxy) SetTrickle(every time.Duration) { p.trickle.Store(int64(every)) }
+
+// Close stops the listener and severs every open connection.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// track registers c for teardown; it reports false when the proxy is
+// already closed (the caller must close c itself).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(c) {
+			_ = c.Close()
+			return
+		}
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.untrack(client)
+	defer client.Close()
+	switch Mode(p.mode.Load()) {
+	case ModeRefuse:
+		return
+	case ModeHang:
+		// Drain whatever the client writes so it never blocks on its
+		// request; answer nothing. The connection dies when the client
+		// gives up or the proxy closes.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := client.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+	target, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	if !p.track(target) {
+		_ = target.Close()
+		return
+	}
+	defer p.untrack(target)
+	defer target.Close()
+
+	done := make(chan struct{}, 2)
+	go func() { // client → target: the request, always at full speed
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 4096)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, werr := target.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				_ = tcpCloseWrite(target)
+				return
+			}
+		}
+	}()
+	go func() { // target → client: the response, possibly trickled
+		defer func() { done <- struct{}{} }()
+		trickling := Mode(p.mode.Load()) == ModeTrickle
+		buf := make([]byte, 4096)
+		if trickling {
+			buf = buf[:1] // one byte per read keeps the leak honest
+		}
+		for {
+			n, err := target.Read(buf)
+			if n > 0 {
+				if trickling {
+					time.Sleep(time.Duration(p.trickle.Load()))
+				}
+				if _, werr := client.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				_ = tcpCloseWrite(client)
+				return
+			}
+		}
+	}()
+	<-done
+	<-done
+}
+
+// tcpCloseWrite half-closes the write side so the peer sees EOF without
+// losing its own in-flight bytes.
+func tcpCloseWrite(c net.Conn) error {
+	if tc, ok := c.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}

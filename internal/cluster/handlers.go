@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -26,6 +27,16 @@ type metrics struct {
 	shardErrors expvar.Int
 	hedges      expvar.Int
 	flips       expvar.Int
+	// Resilience counters (PR 7): hedges refused by the retry budget,
+	// requests answered 504 on deadline exhaustion, and the prober's
+	// activity — probes run, probes failed, shards marked down, shards
+	// repaired back into rotation.
+	hedgesDenied  expvar.Int
+	deadline504s  expvar.Int
+	probes        expvar.Int
+	probeFailures expvar.Int
+	marksDown     expvar.Int
+	repairs       expvar.Int
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -35,12 +46,24 @@ func newMetrics() *metrics { return &metrics{start: time.Now()} }
 // /v1/admin/flip for the trainer's post-rollout table flip.
 func (rt *Router) Handler() http.Handler { return rt.mux }
 
+// BeginDrain marks the router draining: /readyz answers 503 so load
+// balancers stop sending traffic, while the data path keeps serving
+// until the HTTP server is shut down.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Gate exposes the admission controller (nil when disabled), for tests
+// asserting the in-flight bound.
+func (rt *Router) Gate() *serve.Gate { return rt.gate }
+
 func (rt *Router) buildMux() *http.ServeMux {
+	// The data path sits behind the admission gate (nil gate = no-op);
+	// flip, health, readiness and metrics are never shed.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recommend", rt.instrument(rt.handleRecommend))
-	mux.HandleFunc("POST /v1/batch", rt.instrument(rt.handleBatch))
+	mux.HandleFunc("POST /v1/recommend", rt.instrument(rt.gate.Wrap(rt.handleRecommend)))
+	mux.HandleFunc("POST /v1/batch", rt.instrument(rt.gate.Wrap(rt.handleBatch)))
 	mux.HandleFunc("POST /v1/admin/flip", rt.instrument(rt.handleFlip))
 	mux.HandleFunc("GET /healthz", rt.instrument(rt.handleHealthz))
+	mux.HandleFunc("GET /readyz", rt.instrument(rt.handleReadyz))
 	mux.HandleFunc("GET /metrics", rt.instrument(rt.handleMetrics))
 	return mux
 }
@@ -158,7 +181,9 @@ func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 	if err := tbl.validate(req.User, req.ExcludeItems); err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	items, scores, cached, degraded, err := rt.recommendOne(r, tbl, req.User, m, req.ExcludeItems, req.Filter)
+	ctx, cancel := rt.requestContext(r)
+	defer cancel()
+	items, scores, cached, degraded, err := rt.recommendOne(ctx, tbl, req.User, m, req.ExcludeItems, req.Filter)
 	if err != nil {
 		return rt.writeFailure(w, err)
 	}
@@ -175,23 +200,44 @@ func (rt *Router) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 	})
 }
 
+// requestContext derives the scatter context for one router request:
+// the client's context, bounded by Config.RequestTimeout when set — the
+// end-to-end deadline every shard attempt (and its propagated budget
+// header) inherits.
+func (rt *Router) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if rt.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
 // writeFailure maps a scatter-path error to its HTTP shape: validation
-// rejections keep their status, everything else — shard outages, version
-// conflicts, timeouts — is a 502 (the tier behind the router failed).
+// rejections keep their status, deadline exhaustion is a 504 with a
+// structured body (the tier was too slow, distinct from the tier being
+// broken), everything else — shard outages, version conflicts — is a 502
+// (the tier behind the router failed).
 func (rt *Router) writeFailure(w http.ResponseWriter, err error) int {
 	var reqErr *requestError
 	if errors.As(err, &reqErr) {
 		return writeError(w, reqErr.status, reqErr.msg)
 	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.m.deadline504s.Add(1)
+		return writeJSON(w, http.StatusGatewayTimeout, map[string]string{
+			"error": err.Error(),
+			"code":  "deadline_exceeded",
+		})
+	}
 	return writeError(w, http.StatusBadGateway, err.Error())
 }
 
 // recommendOne serves one user's merged list through the fingerprint
-// cache. Validation must have happened; m must be clamped.
-func (rt *Router) recommendOne(r *http.Request, tbl *routeTable, user, m int, exclude []int, spec *serve.FilterSpec) (items []int, scores []float64, cached, degraded bool, err error) {
+// cache. Validation must have happened; m must be clamped; ctx carries
+// the request's end-to-end deadline (requestContext).
+func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int, exclude []int, spec *serve.FilterSpec) (items []int, scores []float64, cached, degraded bool, err error) {
 	shardReq := serve.ShardTopMRequest{User: user, M: m, ExcludeItems: exclude, Filter: spec}
 	compute := func() ([]int, []float64, bool, error) {
-		parts, err := rt.scatter(r.Context(), tbl, shardReq)
+		parts, err := rt.scatter(ctx, tbl, shardReq)
 		if err != nil {
 			var reqErr *requestError
 			if errors.As(err, &reqErr) || !rt.cfg.AllowDegraded {
@@ -275,6 +321,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				fmt.Sprintf("exclude item %d out of range (%d items)", i, tbl.items))
 		}
 	}
+	ctx, cancel := rt.requestContext(r)
+	defer cancel()
 	results := make([]BatchResult, len(req.Users))
 	serveUser := func(n int) {
 		u := req.Users[n]
@@ -282,7 +330,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) int {
 			results[n] = BatchResult{User: u, Error: fmt.Sprintf("user %d out of range (%d users)", u, tbl.users)}
 			return
 		}
-		items, scores, cached, degraded, err := rt.recommendOne(r, tbl, u, m, req.ExcludeItems, req.Filter)
+		items, scores, cached, degraded, err := rt.recommendOne(ctx, tbl, u, m, req.ExcludeItems, req.Filter)
 		if err != nil {
 			results[n] = BatchResult{User: u, Error: err.Error()}
 			return
@@ -352,8 +400,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	tbl := rt.table.Load()
 	if tbl == nil {
 		return writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "no_route_table",
-			"shards": rt.cfg.Shards,
+			"status":        "no_route_table",
+			"shards":        rt.cfg.Shards,
+			"shards_health": rt.healthRows(),
 		})
 	}
 	return writeJSON(w, http.StatusOK, map[string]any{
@@ -362,8 +411,26 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 		"users":          tbl.users,
 		"items":          tbl.items,
 		"shards":         tbl.statuses(),
+		"shards_health":  rt.healthRows(),
 		"allow_degraded": rt.cfg.AllowDegraded,
 	})
+}
+
+// handleReadyz is the router's readiness probe: 503 until the first
+// successful refresh installs a route table, and again during graceful
+// drain — distinct from /healthz, which reports state without gating
+// traffic.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) int {
+	if rt.draining.Load() {
+		return writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "draining"})
+	}
+	tbl := rt.table.Load()
+	if tbl == nil {
+		return writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "no route table yet"})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": tbl.epoch})
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
@@ -376,7 +443,16 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 		"shard_calls":    rt.m.shardCalls.Value(),
 		"shard_errors":   rt.m.shardErrors.Value(),
 		"hedges":         rt.m.hedges.Value(),
+		"hedges_denied":  rt.m.hedgesDenied.Value(),
+		"deadline_504s":  rt.m.deadline504s.Value(),
 		"table_flips":    rt.m.flips.Value(),
+		"prober": map[string]any{
+			"probes":     rt.m.probes.Value(),
+			"failures":   rt.m.probeFailures.Value(),
+			"marks_down": rt.m.marksDown.Value(),
+			"repairs":    rt.m.repairs.Value(),
+		},
+		"shards_health": rt.healthRows(),
 		"cache": map[string]any{
 			"hits":      rt.stats.Hits(),
 			"misses":    rt.stats.Misses(),
@@ -384,6 +460,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 			"merged":    rt.stats.Ranked(),
 			"entries":   rt.cache.Len(),
 		},
+	}
+	if rb := rt.budget; rb != nil {
+		out["retry_budget_denied"] = rb.deniedTotal()
+	}
+	if adm := rt.gate.Snapshot(); adm != nil {
+		out["admission"] = adm
 	}
 	if tbl := rt.table.Load(); tbl != nil {
 		out["epoch"] = tbl.epoch

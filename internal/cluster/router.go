@@ -77,8 +77,46 @@ type Config struct {
 	// HedgeDelay, when positive, launches a second identical attempt
 	// against a shard that has neither answered nor failed after this
 	// long (and immediately after a fast failure); the first success
-	// wins. 0 disables hedging — one attempt per shard.
+	// wins. 0 disables hedging — one attempt per shard. Hedges draw from
+	// the retry budget (see RetryBudget).
 	HedgeDelay time.Duration
+	// RequestTimeout, when positive, bounds one router request end to
+	// end: scatter, hedges and merge all inherit its deadline, and its
+	// exhaustion surfaces as 504. 0 means no overall deadline —
+	// per-attempt deadlines (Timeout) still apply.
+	RequestTimeout time.Duration
+	// BreakerThreshold is the number of consecutive counted failures
+	// (timeouts, transport errors, shard 5xx — never deterministic 4xx or
+	// rollout version conflicts) that trips a shard's circuit breaker
+	// open. An open breaker fails the shard's calls fast (degraded merge
+	// or fail-closed, per AllowDegraded) instead of burning a timeout per
+	// request, then heals through a single half-open trial after
+	// BreakerCooldown. 0 means 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// half-open trial through. 0 means 1s.
+	BreakerCooldown time.Duration
+	// ProbeInterval is the cadence of the background health prober
+	// (StartProber): each shard's /readyz is probed and the shard is
+	// taken out of — or returned to — rotation in the health overlay.
+	// 0 means 2s. The prober only runs when StartProber is called.
+	ProbeInterval time.Duration
+	// RetryBudget bounds hedged retries to this fraction of primary
+	// attempts per 10s window (plus a floor of 3), so a slow cluster
+	// cannot be retry-stormed by its own router. 0 means 0.2; negative
+	// disables the budget (unlimited hedging).
+	RetryBudget float64
+	// MaxInFlight, when positive, bounds concurrently admitted
+	// /v1/recommend and /v1/batch requests; excess requests wait in a
+	// short bounded queue (MaxQueue, QueueWait — serve.Gate semantics)
+	// and are shed with 429 + Retry-After. 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue. 0 means 2×MaxInFlight;
+	// negative means no queue.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for an admission
+	// slot. 0 means 100ms.
+	QueueWait time.Duration
 	// AllowDegraded serves merges assembled from the surviving shards
 	// when others fail, marking the response degraded, instead of
 	// failing the request. Degraded merges are never cached.
@@ -110,6 +148,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 2 * time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 0.2
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
@@ -147,6 +197,20 @@ type Router struct {
 	stats *rank.Stats
 	m     *metrics
 	mux   *http.ServeMux
+	// breakers holds one circuit breaker per shard URL (nil map when
+	// Config.BreakerThreshold < 0). Built at construction, never mutated.
+	breakers map[string]*breaker
+	// health is the mutable per-shard up/down overlay the prober writes
+	// and the scatter reads; the map itself is immutable.
+	health map[string]*shardHealthState
+	// budget is the hedged-retry budget; nil means unlimited.
+	budget *retryBudget
+	// gate is the admission controller over /v1/recommend and /v1/batch;
+	// nil admits everything.
+	gate *serve.Gate
+	// draining flips at the start of graceful shutdown: /readyz answers
+	// 503 while the data path keeps serving.
+	draining atomic.Bool
 }
 
 // New builds a Router over cfg.Shards. The router starts with no route
@@ -179,14 +243,36 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: MaxFanout must be >= 0, got %d", cfg.MaxFanout)
 	case cfg.Timeout < 0 || cfg.HedgeDelay < 0:
 		return nil, fmt.Errorf("cluster: Timeout and HedgeDelay must be >= 0")
+	case cfg.RequestTimeout < 0:
+		return nil, fmt.Errorf("cluster: RequestTimeout must be >= 0, got %v", cfg.RequestTimeout)
+	case cfg.BreakerCooldown < 0 || cfg.ProbeInterval < 0:
+		return nil, fmt.Errorf("cluster: BreakerCooldown and ProbeInterval must be >= 0")
+	case cfg.MaxInFlight < 0:
+		return nil, fmt.Errorf("cluster: MaxInFlight must be >= 0, got %d", cfg.MaxInFlight)
+	case cfg.QueueWait < 0:
+		return nil, fmt.Errorf("cluster: QueueWait must be >= 0, got %v", cfg.QueueWait)
 	}
 	cfg = cfg.withDefaults()
 	stats := &rank.Stats{}
 	rt := &Router{
-		cfg:   cfg,
-		cache: rank.NewListCache(cfg.CacheSize, cfg.CacheShards, stats),
-		stats: stats,
-		m:     newMetrics(),
+		cfg:    cfg,
+		cache:  rank.NewListCache(cfg.CacheSize, cfg.CacheShards, stats),
+		stats:  stats,
+		m:      newMetrics(),
+		health: make(map[string]*shardHealthState, len(cfg.Shards)),
+		gate:   serve.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+	}
+	for _, u := range cfg.Shards {
+		rt.health[u] = &shardHealthState{}
+	}
+	if cfg.BreakerThreshold > 0 {
+		rt.breakers = make(map[string]*breaker, len(cfg.Shards))
+		for _, u := range cfg.Shards {
+			rt.breakers[u] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		}
+	}
+	if cfg.RetryBudget > 0 {
+		rt.budget = newRetryBudget(cfg.RetryBudget, 3, 10*time.Second)
 	}
 	rt.mux = rt.buildMux()
 	return rt, nil
@@ -280,6 +366,40 @@ type requestError struct {
 
 func (e *requestError) Error() string { return e.msg }
 
+var (
+	// errShardDown fails a shard call fast because the health prober has
+	// the shard marked down — no network attempt is made.
+	errShardDown = errors.New("shard marked down by health prober")
+	// errBreakerOpen fails a shard call fast because its circuit breaker
+	// is open (or a half-open trial is already in flight).
+	errBreakerOpen = errors.New("shard circuit breaker open")
+	// errVersionConflict wraps a shard's 409: the rollout-window version
+	// skew of a healthy shard, never evidence of sickness.
+	errVersionConflict = errors.New("shard version conflict")
+)
+
+// countsAgainstBreaker decides whether a failed shard call is evidence
+// the shard is sick. Deterministic request rejections (4xx), rollout
+// version conflicts (409 — tripping breakers on those would open the
+// whole tier during every rollout), caller cancellations, and fast-fails
+// from the breaker or overlay themselves never count; timeouts,
+// transport errors and shard 5xx do.
+func countsAgainstBreaker(err error) bool {
+	var reqErr *requestError
+	switch {
+	case err == nil:
+		return false
+	case errors.As(err, &reqErr):
+		return false
+	case errors.Is(err, errVersionConflict),
+		errors.Is(err, errShardDown),
+		errors.Is(err, errBreakerOpen),
+		errors.Is(err, context.Canceled):
+		return false
+	}
+	return true
+}
+
 // scatter fans req out to every shard of tbl (bounded by MaxFanout,
 // hedged per HedgeDelay) and returns the partials in shard order, nil
 // for shards that failed, plus the first failure. The caller decides
@@ -326,11 +446,42 @@ func (rt *Router) scatter(ctx context.Context, tbl *routeTable, req serve.ShardT
 	return parts, firstErr
 }
 
-// callShard runs one shard call with per-attempt timeout and hedged
-// retry: a second identical attempt launches after HedgeDelay (or
-// immediately after a fast failure), and the first success wins. At most
-// two attempts — a shard that fails both is reported failed.
+// callShard runs one shard call behind the shard's health overlay and
+// circuit breaker, with per-attempt timeout and budgeted hedged retry: a
+// second identical attempt launches after HedgeDelay (or immediately
+// after a fast failure) when the retry budget allows, and the first
+// success wins. At most two attempts — a shard that fails both is
+// reported failed, and the aggregate outcome feeds the breaker.
 func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
+	if hs := rt.healthFor(sh.url); hs != nil && hs.down.Load() {
+		return rank.Partial{}, errShardDown
+	}
+	br := rt.breakers[sh.url]
+	trial := false
+	if br != nil {
+		proceed, tr := br.tryAcquire()
+		if !proceed {
+			return rank.Partial{}, errBreakerOpen
+		}
+		trial = tr
+	}
+	// finish settles the breaker exactly once per admitted call: the
+	// call's aggregate outcome is the shard-sickness verdict. Failures
+	// that carry no verdict (cancellation, version skew) release a trial
+	// without re-tripping.
+	finish := func(p rank.Partial, err error) (rank.Partial, error) {
+		if br != nil {
+			switch {
+			case err == nil:
+				br.onResult(true, trial)
+			case countsAgainstBreaker(err):
+				br.onResult(false, trial)
+			default:
+				br.abandon(trial)
+			}
+		}
+		return p, err
+	}
 	req.ExpectVersion = sh.version
 	type result struct {
 		p   rank.Partial
@@ -344,15 +495,26 @@ func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardT
 		ch <- result{p, err}
 	}
 	pending := 1
+	if rt.budget != nil {
+		rt.budget.noteAttempt()
+	}
 	go attempt()
 	var hedgeC <-chan time.Time
-	if rt.cfg.HedgeDelay > 0 {
+	if rt.cfg.HedgeDelay > 0 && !trial {
+		// A half-open trial is never hedged: one attempt decides, and a
+		// second concurrent call to a possibly-sick shard is exactly what
+		// the half-open state exists to prevent.
 		timer := time.NewTimer(rt.cfg.HedgeDelay)
 		defer timer.Stop()
 		hedgeC = timer.C
 	}
 	launchHedge := func() {
 		hedgeC = nil
+		if rt.budget != nil && !rt.budget.allowRetry() {
+			// Budget spent: this window has already hedged its share.
+			rt.m.hedgesDenied.Add(1)
+			return
+		}
 		pending++
 		rt.m.hedges.Add(1)
 		go attempt()
@@ -363,7 +525,7 @@ func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardT
 		case r := <-ch:
 			pending--
 			if r.err == nil {
-				return r.p, nil
+				return finish(r.p, nil)
 			}
 			if firstErr == nil {
 				firstErr = r.err
@@ -371,21 +533,23 @@ func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardT
 			var reqErr *requestError
 			if errors.As(r.err, &reqErr) {
 				// Deterministic rejection: a hedge would hit the same wall.
-				return rank.Partial{}, r.err
+				return finish(rank.Partial{}, r.err)
 			}
 			if hedgeC != nil {
 				// The primary failed before the hedge timer fired; hedge
-				// now rather than waiting out the delay.
+				// now rather than waiting out the delay. The budget may
+				// deny it — then nothing is pending and we fail below.
 				launchHedge()
-				continue
 			}
 			if pending == 0 {
-				return rank.Partial{}, firstErr
+				return finish(rank.Partial{}, firstErr)
 			}
 		case <-hedgeC:
+			// The primary is still pending here (its return either exits
+			// or disarms hedgeC), so a denied hedge leaves it awaited.
 			launchHedge()
 		case <-ctx.Done():
-			return rank.Partial{}, ctx.Err()
+			return finish(rank.Partial{}, ctx.Err())
 		}
 	}
 }
@@ -406,6 +570,14 @@ func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.Sh
 		return rank.Partial{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Propagate the attempt's remaining deadline budget; ctx carries
+	// min(per-attempt timeout, overall request deadline), so the shard
+	// can shed scoring work whose caller will have given up.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	resp, err := rt.cfg.HTTPClient.Do(hreq)
 	if err != nil {
 		return rank.Partial{}, err
@@ -423,11 +595,21 @@ func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.Sh
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		if resp.StatusCode == http.StatusBadRequest {
+		switch resp.StatusCode {
+		case http.StatusBadRequest:
 			return rank.Partial{}, &requestError{status: http.StatusBadRequest, msg: msg}
+		case http.StatusConflict:
+			// Rollout-window version skew of a healthy shard; typed so the
+			// breaker never counts it.
+			return rank.Partial{}, fmt.Errorf("%w: %s", errVersionConflict, msg)
+		case http.StatusGatewayTimeout:
+			// The shard shed the work because the propagated deadline
+			// budget had expired; surface it as deadline exhaustion so the
+			// router answers 504, not 502.
+			return rank.Partial{}, fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
 		}
-		// 409 (version conflict) and 5xx are shard-side failures; the
-		// fail-closed/degraded policy decides what they mean.
+		// 5xx (and anything unexpected) is a shard-side failure; the
+		// fail-closed/degraded policy decides what it means.
 		return rank.Partial{}, errors.New(msg)
 	}
 	var out serve.ShardTopMResponse

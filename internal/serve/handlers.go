@@ -17,19 +17,23 @@ import (
 
 // endpointNames registers every instrumented endpoint with Metrics.
 var endpointNames = []string{
-	"recommend", "foldin", "explain", "batch", "ingest", "reload", "healthz", "metrics",
+	"recommend", "foldin", "explain", "batch", "ingest", "reload", "healthz", "readyz", "metrics",
 	"shard_topm",
 }
 
 func (s *Server) buildMux() *http.ServeMux {
+	// Query endpoints sit behind the admission gate (nil gate = no-op);
+	// control-plane endpoints (ingest, reload, health, metrics) are never
+	// shed — an overloaded server must stay observable and reloadable.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recommend", s.metrics.instrument("recommend", s.handleRecommend))
-	mux.HandleFunc("POST /v1/foldin", s.metrics.instrument("foldin", s.handleFoldIn))
-	mux.HandleFunc("POST /v1/explain", s.metrics.instrument("explain", s.handleExplain))
-	mux.HandleFunc("POST /v1/batch", s.metrics.instrument("batch", s.handleBatch))
+	mux.HandleFunc("POST /v1/recommend", s.metrics.instrument("recommend", s.gate.Wrap(s.handleRecommend)))
+	mux.HandleFunc("POST /v1/foldin", s.metrics.instrument("foldin", s.gate.Wrap(s.handleFoldIn)))
+	mux.HandleFunc("POST /v1/explain", s.metrics.instrument("explain", s.gate.Wrap(s.handleExplain)))
+	mux.HandleFunc("POST /v1/batch", s.metrics.instrument("batch", s.gate.Wrap(s.handleBatch)))
 	mux.HandleFunc("POST /v1/ingest", s.metrics.instrument("ingest", s.handleIngest))
 	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.metrics.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
 	return mux
 }
@@ -592,7 +596,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, health)
 }
 
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// it answers 503 before a model is installed and during graceful drain,
+// so load balancers and the router's prober stop routing traffic here
+// while the process itself is still alive (and, when draining, still
+// finishing in-flight work). Shard mode reports its version history so
+// the router's prober can check the route table's pin against it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
+	if s.draining.Load() {
+		return writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "draining"})
+	}
+	sn := s.snap.Load()
+	if sn == nil {
+		return writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ready": false, "reason": "no model installed yet"})
+	}
+	out := map[string]any{"ready": true, "model_version": sn.version}
+	if sn.rng != nil {
+		out["shard_lo"] = sn.rng.ItemLo()
+		out["shard_hi"] = sn.rng.ItemHi()
+		if prev := s.prev.Load(); prev != nil {
+			out["prev_version"] = prev.version
+		}
+	}
+	return writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	sn := s.snap.Load()
-	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.engine.CacheLen()))
+	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.engine.CacheLen(), s.gate))
 }

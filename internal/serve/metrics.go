@@ -79,6 +79,10 @@ type Metrics struct {
 	rank      *rank.Stats
 	reloads   expvar.Int
 	inFlight  expvar.Int
+	// deadlineAborts counts shard requests aborted because their
+	// propagated deadline budget (see DeadlineHeader) had already expired
+	// before scoring started — wasted work the deadline check saved.
+	deadlineAborts expvar.Int
 }
 
 func newMetrics(endpointNames []string, stats *rank.Stats) *Metrics {
@@ -105,16 +109,18 @@ func (m *Metrics) CacheHitRate() float64 {
 }
 
 // snapshot renders the full metrics tree for the /metrics endpoint.
-func (m *Metrics) snapshot(version uint64, cacheEntries int) map[string]any {
+// gate may be nil (admission control disabled).
+func (m *Metrics) snapshot(version uint64, cacheEntries int, gate *Gate) map[string]any {
 	eps := make(map[string]any, len(m.endpoints))
 	for name, em := range m.endpoints {
 		eps[name] = em.snapshot()
 	}
-	return map[string]any{
-		"uptime_seconds": time.Since(m.start).Seconds(),
-		"model_version":  version,
-		"model_reloads":  m.reloads.Value(),
-		"in_flight":      m.inFlight.Value(),
+	out := map[string]any{
+		"uptime_seconds":  time.Since(m.start).Seconds(),
+		"model_version":   version,
+		"model_reloads":   m.reloads.Value(),
+		"in_flight":       m.inFlight.Value(),
+		"deadline_aborts": m.deadlineAborts.Value(),
 		"cache": map[string]any{
 			"hits": m.rank.Hits(),
 			// misses counts requests not answered from the cache;
@@ -129,6 +135,10 @@ func (m *Metrics) snapshot(version uint64, cacheEntries int) map[string]any {
 		},
 		"endpoints": eps,
 	}
+	if adm := gate.Snapshot(); adm != nil {
+		out["admission"] = adm
+	}
+	return out
 }
 
 // instrument wraps an endpoint handler with request counting, latency

@@ -73,6 +73,19 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size. 0 means 1 MiB.
 	MaxBodyBytes int64
+	// MaxInFlight, when positive, bounds concurrently admitted requests
+	// on the query endpoints (recommend, foldin, explain, batch, and
+	// shard/topm in shard mode). Excess requests wait in a short bounded
+	// queue and are shed with 429 + Retry-After when it overflows or the
+	// wait elapses. 0 disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an admission slot.
+	// 0 means 2×MaxInFlight; negative means no queue (instant shed when
+	// saturated). Ignored when MaxInFlight is 0.
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed. 0 means 100ms. Ignored when MaxInFlight is 0.
+	QueueWait time.Duration
 	// ItemTags, when non-nil, is the item name/tag table backing the
 	// "filter" request field (allow/deny by tag). Requests naming tags are
 	// rejected when no table is configured. The table may cover fewer
@@ -164,6 +177,13 @@ type Server struct {
 	// file and then install their snapshots in the opposite order, leaving
 	// a stale model served under a newer version number.
 	reloadMu sync.Mutex
+	// gate is the admission controller over the query endpoints; nil when
+	// Config.MaxInFlight is 0 (nil gates admit everything).
+	gate *Gate
+	// draining flips once at the start of graceful shutdown: /readyz
+	// turns 503 so probers and routers stop sending new traffic, while
+	// the data path keeps answering until the HTTP server is shut down.
+	draining atomic.Bool
 	// paddedTrain caches the exclusion matrix (padded to the served
 	// model's shape, transpose materialized) across reloads: once the
 	// trainer grows the catalogue, every reload would otherwise rebuild
@@ -198,6 +218,10 @@ func checkLimits(cfg Config) (Config, error) {
 		return cfg, fmt.Errorf("serve: CacheShards must be >= 0, got %d", cfg.CacheShards)
 	case cfg.MaxIngestGrowth < 0:
 		return cfg, fmt.Errorf("serve: MaxIngestGrowth must be >= 0, got %d", cfg.MaxIngestGrowth)
+	case cfg.MaxInFlight < 0:
+		return cfg, fmt.Errorf("serve: MaxInFlight must be >= 0, got %d", cfg.MaxInFlight)
+	case cfg.QueueWait < 0:
+		return cfg, fmt.Errorf("serve: QueueWait must be >= 0, got %v", cfg.QueueWait)
 	}
 	cfg = cfg.withDefaults()
 	// withDefaults must leave every limit usable; a zero that slipped
@@ -218,6 +242,7 @@ func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server
 		return nil, err
 	}
 	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
+	s.gate = NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
 	s.metrics = newMetrics(endpointNames, s.rankStats)
 	if err := s.install(model, mapped); err != nil {
 		return nil, err
@@ -395,6 +420,20 @@ func (s *Server) Version() uint64 { return s.snap.Load().version }
 
 // Metrics exposes the server's counters, mainly for tests and benchmarks.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Gate exposes the admission controller (nil when disabled), mainly for
+// tests asserting the in-flight bound.
+func (s *Server) Gate() *Gate { return s.gate }
+
+// BeginDrain marks the server draining: /readyz starts answering 503 so
+// load balancers and the router's prober take it out of rotation, while
+// every data endpoint keeps serving. Call it, wait for traffic to ebb,
+// then shut the HTTP server down — the ordering the drain regression
+// test pins.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the HTTP handler serving the v1 API.
 func (s *Server) Handler() http.Handler { return s.mux }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -51,6 +52,7 @@ func NewShardFromFile(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
+	s.gate = NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
 	s.metrics = newMetrics(endpointNames, s.rankStats)
 	rng, err := core.OpenMappedModelRange(cfg.ModelPath, cfg.ShardLo, cfg.ShardHi)
 	if err != nil {
@@ -119,12 +121,38 @@ func (sn *snapshot) numItems() int {
 }
 
 func (s *Server) buildShardMux() *http.ServeMux {
+	// Only the data path is gated; reload, health, readiness and metrics
+	// must keep working on an overloaded shard.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/shard/topm", s.metrics.instrument("shard_topm", s.handleShardTopM))
+	mux.HandleFunc("POST /v1/shard/topm", s.metrics.instrument("shard_topm", s.gate.Wrap(s.handleShardTopM)))
 	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.metrics.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
 	return mux
+}
+
+// DeadlineHeader carries the caller's remaining deadline budget in
+// integer milliseconds — the router stamps it on every shard call from
+// the attempt context's deadline. A shard receiving it aborts work whose
+// budget has already expired (504) instead of scoring for a caller that
+// stopped listening. Absent or malformed, no deadline applies.
+const DeadlineHeader = "X-Ocular-Deadline-Ms"
+
+// deadlineFromHeader resolves the propagated budget to an absolute local
+// deadline at arrival time. Network transit already spent part of the
+// budget the router computed, so the resolved deadline errs late — the
+// check is a work-shedding optimization, never a correctness gate.
+func deadlineFromHeader(r *http.Request) (time.Time, bool) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return time.Time{}, false
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return time.Now().Add(time.Duration(ms) * time.Millisecond), true
 }
 
 // ShardTopMRequest asks a shard for its partition's contribution to one
@@ -152,9 +180,17 @@ type ShardTopMResponse struct {
 }
 
 func (s *Server) handleShardTopM(w http.ResponseWriter, r *http.Request) int {
+	deadline, hasDeadline := deadlineFromHeader(r)
 	var req ShardTopMRequest
 	if err := s.decode(w, r, &req); err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	// First budget check after the body read: a slow client (or a router
+	// whose attempt budget was nearly gone when it sent) should not get a
+	// scoring pass it can no longer use.
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.metrics.deadlineAborts.Add(1)
+		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
 	}
 	m, err := s.clampM(req.M)
 	if err != nil {
@@ -190,6 +226,12 @@ func (s *Server) handleShardTopM(w http.ResponseWriter, r *http.Request) int {
 	filters = append(filters, rank.OffsetRange(rank.TrainRow(sn.train, req.User), lo, hi))
 	for _, f := range extra {
 		filters = append(filters, rank.OffsetRange(f, lo, hi))
+	}
+	// Second check on the brink of the expensive part — the full
+	// partition scoring pass is the work worth shedding.
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.metrics.deadlineAborts.Add(1)
+		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
 	}
 	items, scores, _ := sn.engine.TopM(req.User, m, filters...)
 	scored := make([]ScoredItem, len(items))

@@ -581,6 +581,14 @@ func (t *Trainer) warmCache(ctx context.Context) (int, error) {
 			} `json:"results"`
 		}
 		if err := t.postJSON(ctx, base, "/v1/batch", req, &resp); err != nil {
+			// 429 is the serve tier's admission control shedding our
+			// warm-up in favor of organic traffic. That is backpressure
+			// working, not a rollout failure: the cache fills organically.
+			var se *httpStatusError
+			if errors.As(err, &se) && se.status == http.StatusTooManyRequests {
+				t.cfg.Logf("cache warm shed by admission control after %d/%d users; backing off", warmed, len(users))
+				return warmed, nil
+			}
 			return warmed, fmt.Errorf("trainer: cache warm: %w", err)
 		}
 		for _, r := range resp.Results {
@@ -615,6 +623,16 @@ func hottestUsers(m *sparse.Matrix, n int) []int {
 	return users
 }
 
+// httpStatusError is a non-200 response from the serve tier, carrying
+// the status so callers can distinguish backpressure (429) from real
+// failures.
+type httpStatusError struct {
+	status int
+	msg    string
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
+
 // postJSON POSTs body (nil for empty) to base+path and decodes the
 // response into out, surfacing the server's {"error": ...} payload on
 // non-200 statuses.
@@ -646,9 +664,9 @@ func (t *Trainer) postJSON(ctx context.Context, base, path string, body, out any
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+			return &httpStatusError{resp.StatusCode, fmt.Sprintf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)}
 		}
-		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		return &httpStatusError{resp.StatusCode, fmt.Sprintf("%s: HTTP %d", path, resp.StatusCode)}
 	}
 	return json.Unmarshal(data, out)
 }

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -815,5 +818,62 @@ func TestTornRecordNoPhantomBacklog(t *testing.T) {
 	}
 	if tr.due(n - tr.lastCount) {
 		t.Error("torn record left a phantom backlog: the trigger would retrain forever")
+	}
+}
+
+// TestWarmCacheToleratesShedding: the serve tier's admission control
+// answering the warm-up batches with 429 is backpressure, not a rollout
+// failure — the trainer logs, keeps what it warmed, and reports success.
+func TestWarmCacheToleratesShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"overloaded: admission queue full"}`)
+	}))
+	defer ts.Close()
+
+	var logged []string
+	tr := &Trainer{
+		cfg: Config{
+			ServerURL: ts.URL,
+			Logf:      func(f string, a ...any) { logged = append(logged, fmt.Sprintf(f, a...)) },
+		}.withDefaults(),
+		hotUsers: []int{0, 1, 2},
+	}
+	warmed, err := tr.warmCache(context.Background())
+	if err != nil {
+		t.Fatalf("429 during cache warm must not fail the rollout: %v", err)
+	}
+	if warmed != 0 {
+		t.Fatalf("warmed = %d, want 0", warmed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("trainer kept hammering a shedding server: %d calls", calls.Load())
+	}
+	found := false
+	for _, l := range logged {
+		if strings.Contains(l, "shed by admission control") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("backpressure not logged; got %q", logged)
+	}
+}
+
+// Any other non-200 still fails the warm as before.
+func TestWarmCacheRealErrorStillFails(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	tr := &Trainer{
+		cfg:      Config{ServerURL: ts.URL}.withDefaults(),
+		hotUsers: []int{0, 1, 2},
+	}
+	if _, err := tr.warmCache(context.Background()); err == nil {
+		t.Fatal("a 500 during cache warm must surface as an error")
 	}
 }
