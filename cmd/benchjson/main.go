@@ -1,0 +1,124 @@
+// Command benchjson turns `go test -bench` text output into the
+// machine-readable ledger the repo commits per PR (BENCH_<n>.json), so
+// the performance trajectory of the hot paths is recorded in-tree rather
+// than lost in CI logs.
+//
+//	go test -run '^$' -bench . -benchtime 1x ./internal/rank/ | benchjson -o BENCH_8.json
+//
+// Input is read from stdin: any lines that are not benchmark results
+// (pkg headers, PASS, metrics-only lines) are ignored, so piping the
+// whole `go test` stream works. Each result line contributes one entry:
+//
+//	{"benchmarks": {"BenchmarkRankFiltered": {"ns_per_op": 93417.0,
+//	  "bytes_per_op": 1184, "allocs_per_op": 9}}}
+//
+// bytes_per_op/allocs_per_op appear only when the benchmark reported
+// allocations (-benchmem or b.ReportAllocs). The goroutine-count suffix
+// (-8) is stripped from names so ledgers diff cleanly across machines.
+//
+// When the -o file already exists, new results are merged into it
+// (same-name entries overwritten), so one ledger can accumulate the
+// whole smoke set across several `go test` invocations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// entry is one benchmark's recorded costs. Pointer fields are omitted
+// when the benchmark did not report them.
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// ledger is the on-disk document. A map keyed by benchmark name keeps
+// the JSON output sorted and the merge semantics trivial.
+type ledger struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+var (
+	// resultLine matches `BenchmarkName-8  	  100	  123.4 ns/op  ...`.
+	resultLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	bytesField = regexp.MustCompile(`(\d+) B/op`)
+	allocField = regexp.MustCompile(`(\d+) allocs/op`)
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "-", "output file to write (and merge into, when it exists); - for stdout")
+	flag.Parse()
+
+	led := ledger{Benchmarks: map[string]entry{}}
+	if *out != "-" {
+		prev, err := os.ReadFile(*out)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(prev, &led); err != nil {
+				log.Fatalf("existing %s is not a benchjson ledger: %v", *out, err)
+			}
+			if led.Benchmarks == nil {
+				led.Benchmarks = map[string]entry{}
+			}
+		case !errors.Is(err, fs.ErrNotExist):
+			log.Fatal(err)
+		}
+	}
+
+	parsed := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			log.Fatalf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		e := entry{NsPerOp: ns}
+		if b := bytesField.FindStringSubmatch(m[3]); b != nil {
+			v, _ := strconv.ParseInt(b[1], 10, 64)
+			e.BytesPerOp = &v
+		}
+		if a := allocField.FindStringSubmatch(m[3]); a != nil {
+			v, _ := strconv.ParseInt(a[1], 10, 64)
+			e.AllocsPerOp = &v
+		}
+		led.Benchmarks[m[1]] = e
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if parsed == 0 {
+		log.Fatal("no benchmark result lines on stdin (pipe `go test -bench` output in)")
+	}
+
+	data, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchjson: %d results parsed, %d total in %s\n", parsed, len(led.Benchmarks), *out)
+}

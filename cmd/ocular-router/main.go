@@ -27,6 +27,14 @@
 // attempt against a slow shard after the given delay, bounded by
 // -retry-budget.
 //
+// With -stages, the router runs the staged re-rank pipeline exactly once
+// per request, after the scatter-gather merge: each shard is asked for
+// the over-fetched candidate pool the stages declare, so the staged tier
+// stays bit-identical to one staged full server. Shards themselves never
+// re-rank. boost stages need -items-meta (and -model to size the table);
+// diversify needs -model — point it at the same artifact the shards
+// serve.
+//
 // The tier self-heals: per-shard circuit breakers (-breaker-threshold,
 // -breaker-cooldown) stop burning timeouts on a shard that keeps
 // failing, a background prober (-probe) marks unreachable or
@@ -54,6 +62,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rank"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -69,6 +80,10 @@ func main() {
 		maxM        = flag.Int("max-m", 1000, "cap on requested list length m (must not exceed the shards' -max-m)")
 		maxBatch    = flag.Int("max-batch", 1024, "cap on users per /v1/batch request")
 		maxBody     = flag.Int64("max-body", 0, "cap on request body bytes (0 = 1 MiB)")
+
+		stages    = flag.String("stages", "", "staged re-rank pipeline applied once after the merge, e.g. \"floor=0.1,boost=0.5:promoted\"")
+		modelPath = flag.String("model", "", "model file (the artifact the shards serve) — needed by diversify stages and to size -items-meta")
+		itemsMeta = flag.String("items-meta", "", "item name/tag table for boost stages (item,name,tag,... lines; needs -model)")
 
 		maxFanout     = flag.Int("max-fanout", 0, "concurrent shard calls per request (0 = all shards)")
 		timeout       = flag.Duration("timeout", 2*time.Second, "per-attempt shard call deadline")
@@ -98,8 +113,19 @@ func main() {
 		}
 	}
 
+	var rtStages []rank.Stage
+	if *stages != "" {
+		var err error
+		rtStages, err = buildStages(*stages, *modelPath, *itemsMeta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("staged re-ranking: %d stages applied after the merge", len(rtStages))
+	}
+
 	rt, err := cluster.New(cluster.Config{
 		Shards:           urls,
+		Stages:           rtStages,
 		MaxM:             *maxM,
 		MaxBatch:         *maxBatch,
 		MaxBodyBytes:     *maxBody,
@@ -173,4 +199,33 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("bye")
+}
+
+// buildStages parses the -stages spec and constructs the router's
+// post-merge pipeline. Stages needing per-item data pull it from the
+// same model artifact the shards serve (-model): the tag table for
+// boost is sized by its catalogue, and diversify reads its item
+// factors — identical float64 bits to a full server's, which is what
+// keeps staged routing bit-identical to staged single-process serving.
+func buildStages(spec, modelPath, itemsMeta string) ([]rank.Stage, error) {
+	specs, err := serve.ParseStageSpecs(spec)
+	if err != nil {
+		return nil, err
+	}
+	var model *core.Model
+	if modelPath != "" {
+		if model, err = core.LoadModelFile(modelPath); err != nil {
+			return nil, err
+		}
+	}
+	var tags *rank.TagTable
+	if itemsMeta != "" {
+		if model == nil {
+			return nil, fmt.Errorf("-items-meta needs -model (the tag table is sized by the catalogue)")
+		}
+		if tags, err = rank.LoadTagTableFile(itemsMeta, model.NumItems()); err != nil {
+			return nil, err
+		}
+	}
+	return serve.BuildStages(specs, tags, model)
 }

@@ -43,6 +43,15 @@
 // without dropping in-flight requests; SIGINT/SIGTERM drain connections and
 // exit.
 //
+// With -stages, every served list runs through the staged re-rank
+// pipeline (score floor, tag boost, MMR diversification) after selection
+// — see the README's "Staged re-ranking" section for the spec syntax.
+// With -registry FILE, the process hosts the multi-model platform: named
+// models, per-tenant A/B experiments with deterministic user→arm
+// splits, shadow scoring against candidate models (-shadow-log), and
+// per-tenant ingest feed partitions. Requests without a "tenant" field
+// keep serving the default -model exactly as before.
+//
 // With -shard-lo/-shard-hi the process becomes one shard of the sharded
 // serving tier: it mmaps only its item range of the model and serves
 // POST /v1/shard/topm partials (plus /v1/reload, /healthz, /metrics) for
@@ -87,6 +96,10 @@ func main() {
 		feedDir   = flag.String("feed", "", "interaction feed directory enabling POST /v1/ingest (ocular-trainer retrains from it)")
 		maxGrowth = flag.Int("max-ingest-growth", 0, "cap on how far beyond the served catalogue ingested ids may reach (0 = 1<<20)")
 
+		stages    = flag.String("stages", "", "staged re-rank pipeline for the default path, e.g. \"floor=0.1,boost=0.5:promoted,diversify=0.7:4\"")
+		registry  = flag.String("registry", "", "multi-model registry config (JSON: named models, tenants, experiments, shadows)")
+		shadowLog = flag.String("shadow-log", "", "append shadow-comparison diff records (JSON lines) to this file")
+
 		cacheSize   = flag.Int("cache", 4096, "cached top-M lists (negative disables)")
 		cacheShards = flag.Int("cache-shards", 0, "top-M cache shard count, rounded up to a power of two (0 = 16)")
 		workers     = flag.Int("workers", 0, "batch fan-out workers (0 = all cores)")
@@ -111,6 +124,9 @@ func main() {
 	shardMode := *shardHi != 0
 	if shardMode && *feedDir != "" {
 		log.Fatal("-feed is incompatible with shard mode (run ingest on a full server; shards are stateless)")
+	}
+	if shardMode && (*stages != "" || *registry != "") {
+		log.Fatal("-stages and -registry are incompatible with shard mode (shards serve raw partials; stages run on the router, the registry on full servers)")
 	}
 
 	cfg := serve.Config{
@@ -159,6 +175,35 @@ func main() {
 		}
 		cfg.ItemTags = tags
 		log.Printf("item metadata: %d tags over %d items", tags.NumTags(), tags.NumItems())
+	}
+	if *stages != "" {
+		specs, err := serve.ParseStageSpecs(*stages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Stages = specs
+		log.Printf("staged re-ranking: %d stages on the default path", len(specs))
+	}
+	if *registry != "" {
+		reg, err := serve.LoadRegistryFile(*registry)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Registry = reg
+		log.Printf("multi-model registry: %d models, %d tenants (%s)", len(reg.Models), len(reg.Tenants), *registry)
+	}
+	var shadowW *os.File
+	if *shadowLog != "" {
+		if *registry == "" {
+			log.Fatal("-shadow-log needs -registry (shadow comparisons are configured per tenant)")
+		}
+		var err error
+		shadowW, err = os.OpenFile(*shadowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.ShadowLog = shadowW
+		log.Printf("shadow diff log: %s", *shadowLog)
 	}
 
 	var srv *serve.Server
@@ -219,6 +264,18 @@ func main() {
 		}
 		if cerr := fl.Close(); cerr != nil {
 			log.Printf("feed close on shutdown: %v", cerr)
+		}
+	}
+	// The registry's per-tenant feed partitions buffer like -feed does;
+	// sync and close them too, and let in-flight shadow comparisons finish
+	// before their log file closes under them.
+	srv.ShadowFlush()
+	if cerr := srv.Close(); cerr != nil {
+		log.Printf("registry close on shutdown: %v", cerr)
+	}
+	if shadowW != nil {
+		if cerr := shadowW.Close(); cerr != nil {
+			log.Printf("shadow log close on shutdown: %v", cerr)
 		}
 	}
 	if err != nil {

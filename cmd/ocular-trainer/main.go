@@ -16,6 +16,12 @@
 // newer model, then warms the server's rank cache for the hottest users
 // via /v1/batch.
 //
+// Against a multi-model (-registry) server, add -model-name: each cycle
+// reloads that named model via POST /v1/reload {"model": NAME} and
+// confirms the swap against the model's own version counter in
+// /healthz's models tree. -model must match the path the registry maps
+// the name to.
+//
 // Against a sharded serving tier, replace -server with -shards and
 // -router: each cycle runs the versioned reload handshake against every
 // shard (all must confirm — a partial quorum aborts before anything
@@ -68,6 +74,7 @@ func main() {
 
 		maxGrowth = flag.Int("max-growth", 0, "cap on catalogue growth per cycle; feed events beyond it are skipped (0 = 1<<20)")
 		server    = flag.String("server", "", "ocular-serve base URL to roll models out to (e.g. http://localhost:8080)")
+		modelName = flag.String("model-name", "", "named model of a -registry server to reload (the handshake tracks that model's own version counter)")
 		shards    = flag.String("shards", "", "comma-separated shard base URLs for the quorum rollout (with -router; mutually exclusive with -server)")
 		router    = flag.String("router", "", "ocular-router base URL whose route table is flipped after all -shards confirm")
 		minNew    = flag.Int("min-new", 100, "retrain once this many new positives accumulated")
@@ -95,6 +102,7 @@ func main() {
 		Save:            core.SaveOptions{Float32: *saveF32},
 		MaxGrowth:       *maxGrowth,
 		ServerURL:       *server,
+		ModelName:       *modelName,
 		ShardURLs:       splitURLs(*shards),
 		RouterURL:       strings.TrimRight(*router, "/"),
 		MinNewPositives: *minNew,

@@ -83,13 +83,32 @@ func trainAndSave(t testing.TB, train *sparse.Matrix, seed uint64, path string) 
 }
 
 func newTier(t testing.TB, nParts int, cfg Config) *tier {
+	return newStagedTier(t, nParts, cfg, nil)
+}
+
+// newStagedTier is newTier with a staged re-rank pipeline on both sides
+// of the comparison: the reference server re-ranks through
+// serve.Config.Stages, the router through Config.Stages built from the
+// same specs, tag table and model artifact — exactly the wiring
+// cmd/ocular-router's -stages/-model/-items-meta flags perform. The
+// shards stay stage-less either way (they serve raw partials).
+func newStagedTier(t testing.TB, nParts int, cfg Config, specs []serve.StageSpec) *tier {
 	t.Helper()
 	tr := &tier{train: dataset.SyntheticSmall(1).Dataset.R}
 	tr.modelPath = filepath.Join(t.TempDir(), "model.bin")
 	model := trainAndSave(t, tr.train, 3, tr.modelPath)
 	tags := testItemTags(t, model.NumItems())
+	if len(specs) > 0 {
+		stages, err := serve.BuildStages(specs, tags, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Stages = stages
+	}
 
-	ref, err := serve.NewFromFile(serve.Config{ModelPath: tr.modelPath, Train: tr.train, ItemTags: tags})
+	ref, err := serve.NewFromFile(serve.Config{
+		ModelPath: tr.modelPath, Train: tr.train, ItemTags: tags, Stages: specs,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,6 +269,129 @@ func TestRouterBitIdenticalAcrossRollout(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestRouterStagedBitIdenticalAcrossRollout extends the rollout
+// acceptance test to the staged pipeline: with the same floor+boost
+// stage specs on the router and on the single-process reference, the
+// router's post-merge re-ranking (over-fetched shard partials, stages
+// applied exactly once after the merge) stays bit-identical to staged
+// single-process serving — before a quorum rollout, while the route
+// table still pins the old version, and after the flip. The stages here
+// are deliberately model-independent (floor, tag boost): the router
+// builds its pipeline once from the initial artifact, so a model-bound
+// stage (diversify) would legitimately diverge from a reference that
+// rebuilds stages per reload. Diversify's merge equivalence is covered
+// single-process in rank's TestMergeTopMStagedMatchesSingleProcess.
+func TestRouterStagedBitIdenticalAcrossRollout(t *testing.T) {
+	specs := []serve.StageSpec{
+		{Type: "floor", Min: 0.02},
+		{Type: "boost", Delta: 0.25, Tags: []string{"rare"}, OverFetch: 2},
+	}
+	// compareCases minus "overlong": the boost stage over-fetches 2m from
+	// each shard, and 2*1000 would trip the shards' own m cap — the same
+	// reason ocular-router's -max-m must leave over-fetch headroom below
+	// the shards' -max-m when stages are configured.
+	var cases []struct {
+		name string
+		req  serve.RecommendRequest
+	}
+	for _, c := range compareCases {
+		if c.req.M*2 <= 1000 {
+			cases = append(cases, c)
+		}
+	}
+	for _, nParts := range []int{2, 3} {
+		t.Run(fmt.Sprintf("shards=%d", nParts), func(t *testing.T) {
+			tr := newStagedTier(t, nParts, Config{}, specs)
+			for _, c := range cases {
+				tr.compare(t, c.name, c.req)
+			}
+
+			// Quorum rollout step 1: shards reload, table still pins the
+			// old version — staged merges keep serving the OLD model.
+			trainAndSave(t, tr.train, 99, tr.modelPath)
+			for _, ts := range tr.shardTS {
+				if st := postJSON(t, ts.URL+"/v1/reload", nil, nil); st != 200 {
+					t.Fatalf("shard reload: status %d", st)
+				}
+			}
+			for _, c := range cases {
+				tr.compare(t, c.name+"/pre-flip", c.req)
+			}
+
+			// Step 2: flip, reload the reference, and the staged tier is
+			// bit-identical on the NEW model.
+			var flip FlipResponse
+			if st := postJSON(t, tr.routerTS.URL+"/v1/admin/flip", nil, &flip); st != 200 {
+				t.Fatalf("flip: status %d", st)
+			}
+			if flip.Epoch != 2 {
+				t.Fatalf("flip epoch %d, want 2", flip.Epoch)
+			}
+			if err := tr.ref.ReloadFromFile(); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cases {
+				tr.compare(t, c.name+"/post-flip", c.req)
+			}
+		})
+	}
+}
+
+// TestRouterStagedCacheAndValidation: staged and unstaged routers must
+// not share cache entries for the same request (the stage config is part
+// of the fingerprint — checked here end to end through two routers over
+// one shard tier), and New rejects stages whose empty CacheKey would
+// poison the shared cache.
+func TestRouterStagedCacheAndValidation(t *testing.T) {
+	tr := newStagedTier(t, 2, Config{}, []serve.StageSpec{{Type: "floor", Min: 0.5}})
+	// A second, unstaged router over the same shards.
+	plain, err := New(Config{Shards: append([]string(nil), tr.router.cfg.Shards...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	plainTS := httptest.NewServer(plain.Handler())
+	defer plainTS.Close()
+
+	req := serve.RecommendRequest{User: 5, M: 10}
+	var staged, unstaged RecommendResponse
+	if st := postJSON(t, tr.routerTS.URL+"/v1/recommend", req, &staged); st != 200 {
+		t.Fatalf("staged router status %d", st)
+	}
+	if st := postJSON(t, plainTS.URL+"/v1/recommend", req, &unstaged); st != 200 {
+		t.Fatalf("plain router status %d", st)
+	}
+	// floor=0.5 on synthetic probabilities truncates the list; the plain
+	// router must serve the full one.
+	if len(staged.Items) >= len(unstaged.Items) {
+		t.Fatalf("floor stage kept %d of %d items — staged list should be shorter",
+			len(staged.Items), len(unstaged.Items))
+	}
+	for _, it := range staged.Items {
+		if it.Score < 0.5 {
+			t.Errorf("staged router served item %d with score %v below the floor", it.Item, it.Score)
+		}
+	}
+
+	if _, err := New(Config{Shards: []string{"http://x"}, Stages: []rank.Stage{badStage{}}}); err == nil {
+		t.Fatal("New accepted a stage with an empty CacheKey")
+	}
+}
+
+// badStage declares no cache key — uncacheable per-request stages are a
+// serve-layer concept; the router's static pipeline must stay cacheable.
+type badStage struct{}
+
+func (badStage) CacheKey() string { return "" }
+func (badStage) OverFetch(m int) int {
+	return m
+}
+func (badStage) Apply(m int, items []int, scores []float64) ([]int, []float64) {
+	return items, scores
 }
 
 // TestRouterBatchMatchesRecommend: /v1/batch merges through the same
@@ -546,10 +688,11 @@ func TestRouterConfigValidation(t *testing.T) {
 
 // TestFingerprintFor pins the cache-key canonicalization: epoch always
 // folded in, exclusion and tag lists order- and duplicate-insensitive,
-// allow and deny kept distinct, oversized filter surfaces uncacheable.
+// allow and deny kept distinct, oversized filter surfaces uncacheable,
+// stage keys length-prefixed so adjacent keys can never alias.
 func TestFingerprintFor(t *testing.T) {
-	fp := func(epoch uint64, ex []int, spec *serve.FilterSpec) string {
-		s, ok := fingerprintFor(epoch, ex, spec)
+	fp := func(epoch uint64, ex []int, spec *serve.FilterSpec, stages ...rank.Stage) string {
+		s, ok := fingerprintFor(epoch, ex, spec, stages)
 		if !ok {
 			t.Fatalf("fingerprintFor(%d, %v, %v) uncacheable", epoch, ex, spec)
 		}
@@ -575,11 +718,18 @@ func TestFingerprintFor(t *testing.T) {
 	if fp(1, nil, &serve.FilterSpec{}) != fp(1, nil, nil) {
 		t.Error("empty spec differs from no spec")
 	}
+	floor := rank.ScoreFloor(0.25)
+	if fp(1, nil, nil, floor) == fp(1, nil, nil) {
+		t.Error("stages not folded into the fingerprint")
+	}
+	if fp(1, nil, nil, floor, rank.ScoreFloor(0.5)) == fp(1, nil, nil, rank.ScoreFloor(0.5), floor) {
+		t.Error("stage order not folded into the fingerprint (stages are not commutative)")
+	}
 	huge := make([]int, 3000)
 	for i := range huge {
 		huge[i] = i * 7
 	}
-	if _, ok := fingerprintFor(1, huge, nil); ok {
+	if _, ok := fingerprintFor(1, huge, nil, nil); ok {
 		t.Error("oversized fingerprint not marked uncacheable")
 	}
 }

@@ -234,8 +234,15 @@ func (rt *Router) writeFailure(w http.ResponseWriter, err error) int {
 // recommendOne serves one user's merged list through the fingerprint
 // cache. Validation must have happened; m must be clamped; ctx carries
 // the request's end-to-end deadline (requestContext).
+//
+// With Config.Stages set, each shard is asked for the over-fetched
+// length rank.StagesOverFetch(m, stages) and the pipeline runs exactly
+// once, on the merged list — the same candidate pool and the same
+// arithmetic as a single staged process, so the staged tier stays
+// bit-identical to single-process staged serving.
 func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int, exclude []int, spec *serve.FilterSpec) (items []int, scores []float64, cached, degraded bool, err error) {
-	shardReq := serve.ShardTopMRequest{User: user, M: m, ExcludeItems: exclude, Filter: spec}
+	stages := rt.cfg.Stages
+	shardReq := serve.ShardTopMRequest{User: user, M: rank.StagesOverFetch(m, stages), ExcludeItems: exclude, Filter: spec}
 	compute := func() ([]int, []float64, bool, error) {
 		parts, err := rt.scatter(ctx, tbl, shardReq)
 		if err != nil {
@@ -261,17 +268,17 @@ func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int
 			for n, p := range survivors {
 				flat[n] = *p
 			}
-			items, scores := rank.MergeTopM(m, flat...)
+			items, scores := rank.MergeTopMStaged(m, stages, flat...)
 			return items, scores, false, nil
 		}
 		flat := make([]rank.Partial, len(parts))
 		for n, p := range parts {
 			flat[n] = *p
 		}
-		items, scores := rank.MergeTopM(m, flat...)
+		items, scores := rank.MergeTopMStaged(m, stages, flat...)
 		return items, scores, true, nil
 	}
-	fp, cacheable := fingerprintFor(tbl.epoch, exclude, spec)
+	fp, cacheable := fingerprintFor(tbl.epoch, exclude, spec, stages)
 	if !cacheable {
 		items, scores, _, err = compute()
 		return items, scores, false, degraded, err

@@ -5,7 +5,10 @@
 // rank.MergeTopM, and caching the merged lists. Because per-item scores
 // are independent of the rest of the catalogue, the merged lists are
 // bit-identical — same items, same float64 score bits — to what one
-// process serving the whole model would return.
+// process serving the whole model would return. A configured re-rank
+// pipeline (Config.Stages) runs exactly once, after the merge, over a
+// scatter over-fetched to the stages' candidate pool — so staged
+// routing stays bit-identical to single-process staged serving too.
 //
 // The router owns the fingerprint cache and the singleflight; shards stay
 // cacheless and stateless. Consistency across rollouts rests on two
@@ -52,8 +55,9 @@ type Config struct {
 	// "http://10.0.0.1:8081"). Their item ranges are discovered from
 	// /healthz by Refresh and must exactly partition the catalogue.
 	Shards []string
-	// MaxM caps the requested list length m. 0 means 1000. It must not
-	// exceed the shards' own MaxM: the router forwards m verbatim.
+	// MaxM caps the requested list length m. 0 means 1000. The shards'
+	// own MaxM must cover rank.StagesOverFetch(MaxM, Stages) — the
+	// router forwards m verbatim without stages, over-fetched with them.
 	MaxM int
 	// MaxBatch caps the number of users in one /v1/batch request. 0 means
 	// 1024.
@@ -121,6 +125,16 @@ type Config struct {
 	// when others fail, marking the response degraded, instead of
 	// failing the request. Degraded merges are never cached.
 	AllowDegraded bool
+	// Stages is the staged re-rank pipeline applied exactly once per
+	// request, after the scatter-gather merge — never on shards, which
+	// always serve raw partials. The scatter over-fetches each shard to
+	// rank.StagesOverFetch(m, Stages) so the post-merge pipeline sees the
+	// same candidate pool a single staged process would; the shards' own
+	// MaxM must cover that over-fetched length. Stage cache keys fold
+	// into the router's fingerprints, so staged and unstaged deployments
+	// never share cache entries. Stages must be deterministic and every
+	// stage must declare a non-empty CacheKey. Nil entries are dropped.
+	Stages []rank.Stage
 	// HTTPClient overrides the client used for shard calls (tests;
 	// custom transports). Nil means a client with no overall timeout —
 	// per-attempt deadlines come from Timeout.
@@ -252,6 +266,20 @@ func New(cfg Config) (*Router, error) {
 	case cfg.QueueWait < 0:
 		return nil, fmt.Errorf("cluster: QueueWait must be >= 0, got %v", cfg.QueueWait)
 	}
+	stages := cfg.Stages[:0:0]
+	for _, st := range cfg.Stages {
+		if st == nil {
+			continue
+		}
+		if st.CacheKey() == "" {
+			return nil, fmt.Errorf("cluster: every stage must declare a non-empty CacheKey (static router stages must stay cacheable)")
+		}
+		stages = append(stages, st)
+	}
+	if len(stages) == 0 {
+		stages = nil
+	}
+	cfg.Stages = stages
 	cfg = cfg.withDefaults()
 	stats := &rank.Stats{}
 	rt := &Router{
@@ -644,9 +672,13 @@ func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.Sh
 // fingerprint, folding in the route-table epoch (which is what makes
 // stale-epoch cache hits impossible). Exclusion lists are sorted and
 // deduplicated, tag lists sorted and quoted — both order-independent in
-// meaning, so canonicalization only widens cache sharing. Oversized
-// fingerprints make the request uncacheable instead of unbounded.
-func fingerprintFor(epoch uint64, exclude []int, spec *serve.FilterSpec) (string, bool) {
+// meaning, so canonicalization only widens cache sharing. Stage cache
+// keys are appended after a "|s|" marker, each length-prefixed so
+// adjacent keys can never alias across stage boundaries (mirroring the
+// rank engine's own staged fingerprints); an empty stage key makes the
+// request uncacheable. Oversized fingerprints make the request
+// uncacheable instead of unbounded.
+func fingerprintFor(epoch uint64, exclude []int, spec *serve.FilterSpec, stages []rank.Stage) (string, bool) {
 	const maxLen = 4096
 	var b strings.Builder
 	b.WriteString("e")
@@ -689,6 +721,21 @@ func fingerprintFor(epoch uint64, exclude []int, spec *serve.FilterSpec) (string
 	if spec != nil {
 		if !writeTags("|allow:", spec.AllowTags) || !writeTags("|deny:", spec.DenyTags) {
 			return "", false
+		}
+	}
+	if len(stages) > 0 {
+		b.WriteString("|s|")
+		for _, st := range stages {
+			key := st.CacheKey()
+			if key == "" {
+				return "", false
+			}
+			b.WriteString(strconv.Itoa(len(key)))
+			b.WriteByte(':')
+			b.WriteString(key)
+			if b.Len() > maxLen {
+				return "", false
+			}
 		}
 	}
 	return b.String(), true

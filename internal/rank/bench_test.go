@@ -60,6 +60,34 @@ func BenchmarkRankFiltered(b *testing.B) {
 	}
 }
 
+// BenchmarkRerankStages measures a full staged cache miss: rank the 17k
+// catalogue, then run the three-stage pipeline (score floor, tag boost
+// with 2x over-fetch, MMR diversification at 4x) over the over-fetched
+// candidate pool — the cost ceiling of a staged arm's request.
+func BenchmarkRerankStages(b *testing.B) {
+	const ni = 17000
+	scorer, train, _, tags := newBenchSetup(b, ni)
+	e := NewEngine(scorer, Config{CacheSize: -1})
+	boost, err := tags.Boost(0.25, 2, "rare")
+	if err != nil {
+		b.Fatal(err)
+	}
+	div, err := Diversify(0.7, 4, gridVectors{8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stages := []Stage{ScoreFloor(0.05), boost, div}
+	row := TrainRow(train, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, _, _ := e.TopMStaged(0, 50, stages, row)
+		if len(items) == 0 {
+			b.Fatal("empty staged list")
+		}
+	}
+}
+
 // BenchmarkRankCoalesced measures the duplicate-miss hot path: parallel
 // goroutines hammer one filtered fingerprint while the entry is evicted
 // periodically, so requests alternate between cache hits and coalesced

@@ -1,10 +1,12 @@
 // Package rank is the transport-agnostic ranking engine behind both the
 // offline evaluator and the online serving layer. A request is (scorer, m,
-// filters...) and the pipeline is score → filter → select: the scorer
-// writes a relevance score for every item, composable Filters remove
-// candidates (training positives, per-request exclusion lists, item-tag
-// allow/deny lists), and selection returns the top-m survivors under a
-// deterministic tie rule.
+// filters..., stages...) and the pipeline is score → filter → select →
+// rerank: the scorer writes a relevance score for every item, composable
+// Filters remove candidates (training positives, per-request exclusion
+// lists, item-tag allow/deny lists), selection returns the top survivors
+// under a deterministic tie rule, and optional Stages re-rank the selected
+// head (score floors, MMR diversity, tag boosts) over a declared
+// over-fetch so the staged top-m is well-defined.
 //
 // The Engine adds the serving machinery on top of the pure pipeline:
 // pooled score buffers, a sharded LRU cache keyed by a request fingerprint
@@ -111,12 +113,27 @@ func (e *Engine) CacheLen() int { return e.cache.len() }
 // (u, m, filter fingerprints). Concurrent cacheable misses with equal keys
 // are coalesced: one computes, the rest wait and share the result.
 func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float64, cached bool) {
+	return e.topM(u, m, nil, filters)
+}
+
+// TopMStaged is TopM followed by the request's re-rank stages: the
+// pipeline selects StagesOverFetch(m, stages) candidates, runs the stages
+// in order, and truncates to m. Stage keys fold into the cache
+// fingerprint alongside the filter keys, so staged requests are cached
+// (post-stage) and can never collide with requests differing only in
+// stage configuration. An empty or all-nil stage list is byte-identical
+// to TopM — same results, same cache entries.
+func (e *Engine) TopMStaged(u, m int, stages []Stage, filters ...Filter) (items []int, scores []float64, cached bool) {
+	return e.topM(u, m, compactStages(stages), filters)
+}
+
+func (e *Engine) topM(u, m int, stages []Stage, filters []Filter) (items []int, scores []float64, cached bool) {
 	flat := flatten(filters)
 	score := func(dst []float64) { e.scorer.ScoreUser(u, dst) }
-	fp, cacheable := fingerprint(flat)
+	fp, cacheable := fingerprintStaged(flat, stages)
 	if !cacheable || e.cache == nil {
 		e.stats.misses.Add(1)
-		items, scores = e.rank(score, m, flat)
+		items, scores = e.rankStaged(score, m, flat, stages)
 		return items, scores, false
 	}
 	key := requestKey{user: u, m: m, filters: fp}
@@ -134,7 +151,7 @@ func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float6
 		// The leader failed to publish (it panicked); fall back to an
 		// uncoalesced computation rather than propagating its failure.
 		e.stats.misses.Add(1)
-		items, scores = e.rank(score, m, flat)
+		items, scores = e.rankStaged(score, m, flat, stages)
 		e.cache.put(key, items, scores)
 		return items, scores, false
 	}
@@ -145,7 +162,7 @@ func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float6
 			e.flight.abandon(key, c)
 		}
 	}()
-	items, scores = e.rank(score, m, flat)
+	items, scores = e.rankStaged(score, m, flat, stages)
 	e.cache.put(key, items, scores)
 	e.flight.publish(key, c, items, scores)
 	published = true
@@ -162,6 +179,12 @@ func (e *Engine) Rank(score func(dst []float64), m int, filters ...Filter) (item
 	return e.rank(score, m, flatten(filters))
 }
 
+// RankStaged is Rank followed by the request's re-rank stages — the
+// fold-in path of a staged arm. Like Rank it never consults the cache.
+func (e *Engine) RankStaged(score func(dst []float64), m int, stages []Stage, filters ...Filter) (items []int, scores []float64) {
+	return e.rankStaged(score, m, flatten(filters), compactStages(stages))
+}
+
 // rank is the shared score → filter → select execution over a pooled
 // buffer, compacting the survivors' scores alongside the items.
 func (e *Engine) rank(score func(dst []float64), m int, flat []Filter) ([]int, []float64) {
@@ -175,6 +198,17 @@ func (e *Engine) rank(score func(dst []float64), m int, flat []Filter) ([]int, [
 	}
 	e.putBuf(buf)
 	return items, scores
+}
+
+// rankStaged extends rank with the post-selection stage pass: it selects
+// the stages' over-fetch, applies them, and truncates to m. With no
+// stages it is exactly rank.
+func (e *Engine) rankStaged(score func(dst []float64), m int, flat []Filter, stages []Stage) ([]int, []float64) {
+	if len(stages) == 0 {
+		return e.rank(score, m, flat)
+	}
+	items, scores := e.rank(score, StagesOverFetch(m, stages), flat)
+	return applyStages(m, stages, items, scores)
 }
 
 func (e *Engine) getBuf() []float64 {

@@ -68,3 +68,22 @@ func MergeTopM(m int, parts ...Partial) (items []int, scores []float64) {
 	}
 	return items, scores
 }
+
+// MergeTopMStaged is the router's post-merge stage hook: it merges the
+// partials into the global top-StagesOverFetch(m, stages) head, applies
+// the stages exactly once, and truncates to m. Each partial must carry at
+// least min(StagesOverFetch(m, stages), its candidate count) entries —
+// the gather side must request the over-fetched length from its shards.
+// Because MergeTopM over disjoint sorted partials is bit-identical to
+// Select over the union, and stages are deterministic functions of the
+// selected head, the staged merge is bit-identical to single-process
+// staged serving (Engine.TopMStaged) over the same model and filters.
+// With an empty stage list it is exactly MergeTopM.
+func MergeTopMStaged(m int, stages []Stage, parts ...Partial) (items []int, scores []float64) {
+	stages = compactStages(stages)
+	if len(stages) == 0 {
+		return MergeTopM(m, parts...)
+	}
+	items, scores = MergeTopM(StagesOverFetch(m, stages), parts...)
+	return applyStages(m, stages, items, scores)
+}

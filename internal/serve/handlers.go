@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -156,14 +157,26 @@ type RecommendRequest struct {
 	M            int         `json:"m,omitempty"`
 	ExcludeItems []int       `json:"exclude_items,omitempty"`
 	Filter       *FilterSpec `json:"filter,omitempty"`
+	// Tenant routes the request through the model registry (tenant →
+	// experiment → arm). Empty is the default single-model path, wire
+	// format unchanged; an unregistered tenant is a 404
+	// {code:"unknown_tenant"}, never a silent fall-through.
+	Tenant string `json:"tenant,omitempty"`
 }
 
-// RecommendResponse carries one user's ranked recommendations.
+// RecommendResponse carries one user's ranked recommendations. The
+// tenant/experiment/arm/model fields appear only on tenant-routed
+// requests — the default path's wire format is exactly the pre-registry
+// one.
 type RecommendResponse struct {
 	User         int          `json:"user"`
 	Items        []ScoredItem `json:"items"`
 	Cached       bool         `json:"cached"`
 	ModelVersion uint64       `json:"model_version"`
+	Tenant       string       `json:"tenant,omitempty"`
+	Experiment   string       `json:"experiment,omitempty"`
+	Arm          string       `json:"arm,omitempty"`
+	Model        string       `json:"model,omitempty"`
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
@@ -175,35 +188,56 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	sn := s.snap.Load()
-	extra, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	rt, err := s.resolve(req.Tenant, req.User)
+	if err != nil {
+		return writeErrorCode(w, http.StatusNotFound, "unknown_tenant", err.Error())
+	}
+	extra, err := s.requestFilters(rt.sn, req.ExcludeItems, req.Filter)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	resp, err := s.recommendOne(sn, req.User, m, extra)
+	resp, err := s.recommendOne(rt, req.User, m, extra)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, resp)
 }
 
-// recommendOne serves one user's top-m list through the snapshot's ranking
-// engine, composing the user's training-row exclusion with the request's
-// extra filters; m must already be clamped.
-func (s *Server) recommendOne(sn *snapshot, user, m int, extra []rank.Filter) (RecommendResponse, error) {
+// recommendOne serves one user's top-m list through the routed snapshot's
+// ranking engine, composing the user's training-row exclusion with the
+// request's extra filters and the snapshot's stage config; m must already
+// be clamped. On tenant-routed requests it also feeds the arm's counters
+// and, when the user is in the tenant's shadow sample, launches the
+// off-path shadow comparison.
+func (s *Server) recommendOne(rt route, user, m int, extra []rank.Filter) (RecommendResponse, error) {
+	sn := rt.sn
 	if user < 0 || user >= sn.model.NumUsers() {
+		if rt.arm != nil {
+			rt.arm.errors.Add(1)
+		}
 		return RecommendResponse{}, fmt.Errorf("user %d out of range (%d users)", user, sn.model.NumUsers())
 	}
 	filters := make([]rank.Filter, 0, len(extra)+1)
 	filters = append(filters, rank.TrainRow(sn.train, user))
 	filters = append(filters, extra...)
-	items, scores, cached := sn.engine.TopM(user, m, filters...)
-	return RecommendResponse{
+	items, scores, cached := sn.engine.TopMStaged(user, m, sn.stages, filters...)
+	resp := RecommendResponse{
 		User:         user,
 		Items:        zipScored(items, scores),
 		Cached:       cached,
 		ModelVersion: sn.version,
-	}, nil
+	}
+	if a := rt.arm; a != nil {
+		a.requests.Add(1)
+		resp.Tenant = rt.tenant.name
+		resp.Experiment = a.expName
+		resp.Arm = a.name
+		resp.Model = a.model.name
+		if sh := rt.tenant.shadow; sh != nil {
+			sh.observe(a.name, a.model.name, sn.version, user, m, extra, items, scores)
+		}
+	}
+	return resp, nil
 }
 
 // FoldInRequest asks for cold-start recommendations: the item history of a
@@ -369,12 +403,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) int {
 }
 
 // BatchRequest asks for top-M lists of many users in one round trip.
-// ExcludeItems and Filter apply to every user in the batch.
+// ExcludeItems and Filter apply to every user in the batch. Tenant routes
+// the whole batch through the registry; each user still resolves to its
+// own arm (deterministic per-user hashing splits a batch across arms
+// exactly like single requests).
 type BatchRequest struct {
 	Users        []int       `json:"users"`
 	M            int         `json:"m,omitempty"`
 	ExcludeItems []int       `json:"exclude_items,omitempty"`
 	Filter       *FilterSpec `json:"filter,omitempty"`
+	Tenant       string      `json:"tenant,omitempty"`
 }
 
 // BatchResponse carries one result per requested user, in request order.
@@ -385,12 +423,17 @@ type BatchResponse struct {
 	ModelVersion uint64        `json:"model_version"`
 }
 
-// BatchResult is one user's slot in a batch response.
+// BatchResult is one user's slot in a batch response. Arm and
+// ArmModelVersion appear only on tenant-routed batches, where different
+// users of one batch may land on different arms (so the top-level
+// ModelVersion — the default model's — does not describe them).
 type BatchResult struct {
-	User   int          `json:"user"`
-	Items  []ScoredItem `json:"items,omitempty"`
-	Cached bool         `json:"cached,omitempty"`
-	Error  string       `json:"error,omitempty"`
+	User            int          `json:"user"`
+	Items           []ScoredItem `json:"items,omitempty"`
+	Cached          bool         `json:"cached,omitempty"`
+	Error           string       `json:"error,omitempty"`
+	Arm             string       `json:"arm,omitempty"`
+	ArmModelVersion uint64       `json:"arm_model_version,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
@@ -409,20 +452,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	sn := s.snap.Load()
-	extra, err := s.requestFilters(sn, req.ExcludeItems, req.Filter)
+	// Tenant validity is user-independent; reject an unknown tenant once,
+	// before fanning out (per-user resolve below then cannot fail).
+	defRt, err := s.resolve(req.Tenant, 0)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err.Error())
+		return writeErrorCode(w, http.StatusNotFound, "unknown_tenant", err.Error())
+	}
+	sn := defRt.sn
+	var extra []rank.Filter
+	if req.Tenant == "" {
+		// Validate the shared filters once; the batch shares the result
+		// across users (filters are immutable and safe for concurrent use).
+		extra, err = s.requestFilters(sn, req.ExcludeItems, req.Filter)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error())
+		}
 	}
 	results := make([]BatchResult, len(req.Users))
 	serveUser := func(n int) {
 		u := req.Users[n]
-		resp, err := s.recommendOne(sn, u, m, extra)
+		rt, filters := defRt, extra
+		if req.Tenant != "" {
+			// Arms may serve different catalogues, so the filter set is
+			// validated against each user's own arm snapshot.
+			rt, _ = s.resolve(req.Tenant, u)
+			var ferr error
+			filters, ferr = s.requestFilters(rt.sn, req.ExcludeItems, req.Filter)
+			if ferr != nil {
+				results[n] = BatchResult{User: u, Error: ferr.Error(), Arm: rt.arm.name}
+				return
+			}
+		}
+		resp, err := s.recommendOne(rt, u, m, filters)
 		if err != nil {
 			results[n] = BatchResult{User: u, Error: err.Error()}
+			if rt.arm != nil {
+				results[n].Arm = rt.arm.name
+			}
 			return
 		}
 		results[n] = BatchResult{User: u, Items: resp.Items, Cached: resp.Cached}
+		if rt.arm != nil {
+			results[n].Arm = rt.arm.name
+			results[n].ArmModelVersion = resp.ModelVersion
+		}
 	}
 	if len(req.Users) == 1 {
 		// Worker spin-up dominates a single-user batch; serve it inline.
@@ -432,7 +505,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 			serveUser(n)
 		})
 	}
-	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: sn.version})
+	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: s.snap.Load().version})
 }
 
 // IngestEvent is one new positive example to append to the interaction
@@ -457,6 +530,12 @@ type IngestRequest struct {
 	User   *int          `json:"user,omitempty"`
 	Items  []int         `json:"items,omitempty"`
 	Events []IngestEvent `json:"events,omitempty"`
+	// Tenant routes the events into the tenant's own feed partition
+	// (registry feed_dir), so the trainer replays exactly that tenant's
+	// interactions. Empty appends to the default Config.Feed log. An
+	// unregistered tenant is a 404 {code:"unknown_tenant"} — events are
+	// never silently attributed to the default feed.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // IngestResponse reports the append and the feed's cumulative state, so
@@ -468,13 +547,29 @@ type IngestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
-	if s.cfg.Feed == nil {
-		return writeError(w, http.StatusServiceUnavailable,
-			"no interaction feed configured (start the server with -feed)")
-	}
 	var req IngestRequest
 	if err := s.decode(w, r, &req); err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	// Resolve the target feed first: the default log, or the tenant's own
+	// partition. Tagging events with the tenant happens by construction —
+	// each tenant's positives land in its own segmented log, which is the
+	// partition the trainer replays.
+	fl := s.cfg.Feed
+	if req.Tenant != "" {
+		if s.registry == nil || s.registry.tenants[req.Tenant] == nil {
+			return writeErrorCode(w, http.StatusNotFound, "unknown_tenant",
+				unknownTenantError{tenant: req.Tenant}.Error())
+		}
+		fl = s.registry.tenants[req.Tenant].feed
+		if fl == nil {
+			return writeError(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("tenant %q has no feed partition (set feed_dir in the registry)", req.Tenant))
+		}
+	}
+	if fl == nil {
+		return writeError(w, http.StatusServiceUnavailable,
+			"no interaction feed configured (start the server with -feed)")
 	}
 	if len(req.Items) > 0 && req.User == nil {
 		return writeError(w, http.StatusBadRequest, "items given without a user to attribute them to")
@@ -516,36 +611,71 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) int {
 	if len(events) == 0 {
 		return writeError(w, http.StatusBadRequest, "no positives: pass items (with user) and/or events")
 	}
-	if err := s.cfg.Feed.Append(events...); err != nil {
+	if err := fl.Append(events...); err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
 	}
 	return writeJSON(w, http.StatusOK, IngestResponse{
 		Appended:      len(events),
-		FeedPositives: s.cfg.Feed.Count(),
-		FeedSegments:  s.cfg.Feed.Segments(),
+		FeedPositives: fl.Count(),
+		FeedSegments:  fl.Segments(),
 	})
+}
+
+// ReloadRequest optionally names a registry model to reload. An empty
+// body (or empty model) reloads the default Config.ModelPath exactly as
+// before — the wire format trainers rely on is unchanged.
+type ReloadRequest struct {
+	Model string `json:"model,omitempty"`
 }
 
 // ReloadResponse reports the snapshot installed by a reload: the new
 // model version plus the serving mode (mmapped? float32 scoring?), so a
 // trainer pushing a rollout confirms the swap landed — and how it is
 // being served — from the reload response alone, without a second
-// /healthz round trip.
+// /healthz round trip. Name echoes the registry model on a named reload.
 type ReloadResponse struct {
 	ModelVersion uint64 `json:"model_version"`
 	Model        string `json:"model"`
 	Mapped       bool   `json:"mapped"`
 	Float32      bool   `json:"float32"`
+	Name         string `json:"name,omitempty"`
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
-	// The endpoint takes no parameters, but an unread body is still
-	// received by the kernel — without the cap a client could stream an
-	// unbounded payload through the one POST endpoint that never decoded
-	// its body.
-	if _, err := io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)); err != nil {
+	// The body is optional ({"model": name} targets a registry model;
+	// empty reloads the default path) but always capped — an unread body
+	// is still received by the kernel, and without the cap a client could
+	// stream an unbounded payload.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		return writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+	}
+	var req ReloadRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		}
+	}
+	if req.Model != "" {
+		version, err := s.ReloadNamed(req.Model)
+		if err != nil {
+			var unknown unknownModelError
+			if errors.As(err, &unknown) {
+				return writeErrorCode(w, http.StatusNotFound, "unknown_model", err.Error())
+			}
+			return writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		sn := s.registry.models[req.Model].base.Load()
+		return writeJSON(w, http.StatusOK, ReloadResponse{
+			ModelVersion: version,
+			Model:        sn.model.String(),
+			Mapped:       sn.mapped != nil,
+			Float32:      sn.mapped != nil && sn.mapped.HasFloat32(),
+			Name:         req.Model,
+		})
 	}
 	if err := s.ReloadFromFile(); err != nil {
 		return writeError(w, http.StatusInternalServerError, err.Error())
@@ -593,6 +723,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
 	if s.cfg.Feed != nil {
 		health["feed_positives"] = s.cfg.Feed.Count()
 	}
+	if s.registry != nil {
+		models, tenants := s.registry.healthTree()
+		health["models"] = models
+		health["tenants"] = tenants
+	}
 	return writeJSON(w, http.StatusOK, health)
 }
 
@@ -625,5 +760,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) int {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	sn := s.snap.Load()
-	return writeJSON(w, http.StatusOK, s.metrics.snapshot(sn.version, sn.engine.CacheLen(), s.gate))
+	out := s.metrics.snapshot(sn.version, sn.engine.CacheLen(), s.gate)
+	if s.registry != nil {
+		out["tenants"] = s.registry.metricsTree()
+	}
+	return writeJSON(w, http.StatusOK, out)
 }

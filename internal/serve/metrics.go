@@ -176,3 +176,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) int {
 func writeError(w http.ResponseWriter, status int, msg string) int {
 	return writeJSON(w, status, map[string]string{"error": msg})
 }
+
+// writeErrorCode encodes {"code": code, "error": msg} — the
+// machine-readable error shape of the multi-model platform (e.g.
+// "unknown_tenant"), so clients branch on a stable code, not a message.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) int {
+	return writeJSON(w, status, map[string]string{"code": code, "error": msg})
+}

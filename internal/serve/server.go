@@ -19,6 +19,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,25 @@ type Config struct {
 	// rejected when no table is configured. The table may cover fewer
 	// items than the model (unlisted items carry no tags) but never more.
 	ItemTags *rank.TagTable
+	// Stages configures the default serving path's post-selection re-rank
+	// pipeline (score floors, MMR diversity, tag boosts), applied by
+	// recommend and batch after top-M selection. Specs are materialized
+	// against the served model at every (re)load, so a diversify stage
+	// always measures similarity over the model actually serving. Empty
+	// means no stages — bit-identical to the pre-stage pipeline.
+	// Incompatible with shard mode: shards serve raw partials and the
+	// router applies stages exactly once after the merge.
+	Stages []StageSpec
+	// Registry, when non-nil, turns the server into a multi-model
+	// platform: named mmapped models, tenants resolving tenant →
+	// experiment → arm via deterministic user hashing, per-arm stage
+	// configs and metrics, shadow comparisons and per-tenant ingest feed
+	// partitions. Requests without a tenant keep the default single-model
+	// path (and wire format) exactly. Incompatible with shard mode.
+	Registry *RegistryConfig
+	// ShadowLog receives the shadow mode's JSON-line rank/score diffs.
+	// nil silently drops them (the per-tenant diff counters still count).
+	ShadowLog io.Writer
 	// ShardLo, ShardHi select shard mode (ShardHi != 0): the server mmaps
 	// only the item range [ShardLo, ShardHi) of the v2 model at ModelPath
 	// and serves per-shard top-M partials on /v1/shard/topm for a
@@ -151,6 +171,11 @@ type snapshot struct {
 	// buffers, the top-M cache and miss coalescing. One engine per
 	// snapshot makes cache invalidation on reload wholesale and race-free.
 	engine *rank.Engine
+	// stages is the snapshot's re-rank pipeline, materialized from the
+	// configured stage specs against this snapshot's model (so a
+	// diversify stage's similarity kernel always matches the model
+	// serving). nil means the plain select pipeline.
+	stages []rank.Stage
 }
 
 // Server answers recommendation queries over the current model snapshot.
@@ -191,6 +216,11 @@ type Server struct {
 	// rarely changes between rollouts. Guarded by reloadMu (install runs
 	// under it, or single-threaded at construction).
 	paddedTrain *sparse.Matrix
+	// registry is the multi-model platform state (nil without
+	// Config.Registry): named models, tenants, experiments, arms and
+	// shadows. The maps are immutable after construction; per-model and
+	// per-arm snapshots swap atomically under reloadMu.
+	registry *registry
 }
 
 // New builds a Server serving model. The model must match cfg.Train's
@@ -247,6 +277,11 @@ func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server
 	if err := s.install(model, mapped); err != nil {
 		return nil, err
 	}
+	if cfg.Registry != nil {
+		if err := s.buildRegistry(); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = s.buildMux()
 	return s, nil
 }
@@ -295,6 +330,10 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 		return fmt.Errorf("serve: item tag table covers %d items but the model has %d",
 			tags.NumItems(), model.NumItems())
 	}
+	stages, err := BuildStages(s.cfg.Stages, s.cfg.ItemTags, model)
+	if err != nil {
+		return fmt.Errorf("serve: default stages: %w", err)
+	}
 	scorer := core.Scorer(model)
 	if mapped != nil {
 		scorer = mapped
@@ -306,6 +345,7 @@ func (s *Server) install(model *core.Model, mapped *core.MappedModel) error {
 		train:    train,
 		version:  s.version.Add(1),
 		loadedAt: time.Now(),
+		stages:   stages,
 		engine: rank.NewEngine(scorer, rank.Config{
 			CacheSize:   s.cfg.CacheSize,
 			CacheShards: s.cfg.CacheShards,

@@ -47,6 +47,12 @@ func NewShardFromFile(cfg Config) (*Server, error) {
 	if cfg.Feed != nil {
 		return nil, fmt.Errorf("serve: shard mode takes no Feed (run ingest on a full server)")
 	}
+	if len(cfg.Stages) > 0 {
+		return nil, fmt.Errorf("serve: shard mode takes no Stages (shards serve raw partials; the router applies stages once after the merge)")
+	}
+	if cfg.Registry != nil {
+		return nil, fmt.Errorf("serve: shard mode takes no Registry (run the multi-model platform on full servers)")
+	}
 	cfg, err := checkLimits(cfg)
 	if err != nil {
 		return nil, err

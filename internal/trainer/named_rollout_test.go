@@ -1,0 +1,234 @@
+package trainer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/feed"
+	"repro/internal/serve"
+)
+
+// TestNamedRolloutEndToEnd: against a multi-model registry server, a
+// trainer with ModelName reloads exactly that named model — POST
+// /v1/reload {"model": name}, handshake against the model's own version
+// counter in /healthz's models tree — leaving the default model and the
+// registry's other models untouched.
+func TestNamedRolloutEndToEnd(t *testing.T) {
+	base := dataset.SyntheticSmall(1).Dataset.R
+	dir := t.TempDir()
+	defaultPath := filepath.Join(dir, "default.bin")
+	candPath := filepath.Join(dir, "candidate.bin")
+	champPath := filepath.Join(dir, "champion.bin")
+	seedModel(t, base, defaultPath)
+	seedModel(t, base, candPath)
+	seedModel(t, base, champPath)
+
+	feedDir := filepath.Join(dir, "feed")
+	writeFeed(t, feedDir,
+		feed.Event{User: 2, Item: 5}, feed.Event{User: 2, Item: 9}, feed.Event{User: 7, Item: 1})
+
+	srv, err := serve.NewFromFile(serve.Config{
+		ModelPath: defaultPath,
+		Train:     base,
+		Registry: &serve.RegistryConfig{
+			Models: map[string]serve.ModelSpec{
+				"champion":  {Path: champPath},
+				"candidate": {Path: candPath},
+			},
+			Tenants: map[string]serve.TenantSpec{
+				"acme": {Experiment: &serve.ExperimentSpec{
+					Name: "exp",
+					Arms: []serve.ArmSpec{{Name: "only", Model: "candidate"}},
+				}},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	tr, err := New(Config{
+		FeedDir:   feedDir,
+		Base:      base,
+		Train:     testTrainCfg,
+		ModelPath: candPath,
+		Save:      core.SaveOptions{Float32: true},
+		ServerURL: ts.URL,
+		ModelName: "candidate",
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := tr.RunOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cy.ServerVersion != 2 {
+		t.Fatalf("handshake confirmed version %d, want 2 (the candidate's own counter)", cy.ServerVersion)
+	}
+
+	var health struct {
+		ModelVersion uint64 `json:"model_version"`
+		Models       map[string]struct {
+			ModelVersion uint64 `json:"model_version"`
+		} `json:"models"`
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Models["candidate"].ModelVersion != 2 {
+		t.Errorf("candidate at version %d after named rollout, want 2", health.Models["candidate"].ModelVersion)
+	}
+	if health.Models["champion"].ModelVersion != 1 {
+		t.Errorf("champion at version %d, want untouched 1", health.Models["champion"].ModelVersion)
+	}
+	if health.ModelVersion != 1 {
+		t.Errorf("default model at version %d, want untouched 1", health.ModelVersion)
+	}
+	// The retrained candidate is what the tenant's arm now serves: the
+	// rollout grew nothing here, but the arm version proves the swap.
+	var rec serve.RecommendResponse
+	st := postTo(t, ts.URL+"/v1/recommend", map[string]any{"user": 2, "m": 5, "tenant": "acme"}, &rec)
+	if st != 200 || rec.ModelVersion != 2 {
+		t.Errorf("tenant request: status %d version %d, want 200 at version 2", st, rec.ModelVersion)
+	}
+}
+
+func postTo(t testing.TB, url string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestNamedReloadHandshake pins the wire protocol of a named rollout
+// against a fake server: the version read comes from the models tree
+// (not the top-level default version), the reload body is
+// {"model": name}, and a version that fails to advance — or a server
+// without the named model — fails the handshake.
+func TestNamedReloadHandshake(t *testing.T) {
+	dir := t.TempDir()
+	version := uint64(5)
+	reloadVersion := uint64(6)
+	var gotBody []byte
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			// The top-level version is a decoy: a named handshake reading
+			// it would "confirm" against the wrong counter.
+			json.NewEncoder(w).Encode(map[string]any{
+				"model_version": 77,
+				"models": map[string]any{
+					"candidate": map[string]any{"model_version": version},
+				},
+			})
+		case "/v1/reload":
+			gotBody, _ = io.ReadAll(r.Body)
+			json.NewEncoder(w).Encode(map[string]any{
+				"model_version": reloadVersion, "model": "m", "mapped": true, "float32": true, "name": "candidate",
+			})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	newNamed := func(name string) *Trainer {
+		tr, err := New(Config{
+			FeedDir:   dir,
+			ModelPath: filepath.Join(dir, "m.bin"),
+			Train:     core.Config{K: 2},
+			ServerURL: ts.URL,
+			ModelName: name,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	tr := newNamed("candidate")
+	resp, err := tr.pushReload(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatalf("named handshake failed: %v", err)
+	}
+	if resp.ModelVersion != 6 {
+		t.Errorf("confirmed version %d, want 6", resp.ModelVersion)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(gotBody, &body); err != nil || body["model"] != "candidate" {
+		t.Errorf("reload body %s, want {\"model\":\"candidate\"}", gotBody)
+	}
+
+	// The reload answers the version already observed before the push:
+	// not an advance → the handshake must fail rather than trust a stale
+	// swap.
+	reloadVersion = version
+	if _, err := tr.pushReload(context.Background(), ts.URL); err == nil {
+		t.Error("handshake confirmed a version that did not advance")
+	}
+
+	// A model the registry does not list fails before any reload is sent.
+	if _, err := newNamed("ghost").pushReload(context.Background(), ts.URL); err == nil {
+		t.Error("handshake against an unlisted model succeeded")
+	}
+}
+
+// TestNamedRolloutValidation: ModelName composes only with a single
+// registry server — shards host no registry, and a name without a server
+// has nothing to reload.
+func TestNamedRolloutValidation(t *testing.T) {
+	dir := t.TempDir()
+	good := Config{FeedDir: dir, ModelPath: filepath.Join(dir, "m.bin"), Train: core.Config{K: 2}}
+	cases := map[string]func(Config) Config{
+		"ModelName with shards": func(c Config) Config {
+			c.ModelName = "x"
+			c.ShardURLs = []string{"http://a", "http://b"}
+			c.RouterURL = "http://r"
+			return c
+		},
+		"ModelName without server": func(c Config) Config {
+			c.ModelName = "x"
+			return c
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := New(mutate(good)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	good.ModelName = "x"
+	good.ServerURL = "http://s"
+	if _, err := New(good); err != nil {
+		t.Errorf("ModelName with ServerURL rejected: %v", err)
+	}
+}

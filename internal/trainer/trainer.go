@@ -69,6 +69,15 @@ type Config struct {
 	// POSTs /v1/reload there and verifies the returned model version
 	// strictly advanced. Mutually exclusive with ShardURLs/RouterURL.
 	ServerURL string
+	// ModelName, when non-empty, targets one named model of a serve
+	// process running the multi-model registry: /v1/reload is POSTed
+	// with {"model": ModelName}, and the handshake reads that model's
+	// version from the models tree of /healthz instead of the top-level
+	// model_version (each named model has its own version counter).
+	// Requires ServerURL; shards host no registry, so combining
+	// ModelName with ShardURLs is an error. ModelPath must match the
+	// path the registry maps the name to.
+	ModelName string
 	// ShardURLs, with RouterURL, selects the sharded-tier rollout: after
 	// every save the trainer runs the versioned reload handshake against
 	// EVERY shard (the quorum — all of them must confirm), then flips the
@@ -227,6 +236,10 @@ func New(cfg Config) (*Trainer, error) {
 		return nil, fmt.Errorf("trainer: ShardURLs needs RouterURL (the router owning the route table to flip)")
 	case cfg.RouterURL != "" && len(cfg.ShardURLs) == 0:
 		return nil, fmt.Errorf("trainer: RouterURL needs ShardURLs (the shards to quorum-reload before the flip)")
+	case cfg.ModelName != "" && len(cfg.ShardURLs) > 0:
+		return nil, fmt.Errorf("trainer: ModelName targets a registry-serving full server; shards host no registry")
+	case cfg.ModelName != "" && cfg.ServerURL == "":
+		return nil, fmt.Errorf("trainer: ModelName needs ServerURL (the registry server to reload the named model on)")
 	}
 	cfg = cfg.withDefaults()
 	// The trainer only reads the feed, but the ingest writer may not have
@@ -513,14 +526,19 @@ type reloadResponse struct {
 // rather than silently re-serving a stale snapshot. Comparing against
 // the version observed immediately before the push (not a counter kept
 // across cycles) keeps the handshake correct when the serve process
-// restarts and its version counter resets.
+// restarts and its version counter resets. With Config.ModelName the
+// same handshake runs against that named model's own version counter.
 func (t *Trainer) pushReload(ctx context.Context, base string) (reloadResponse, error) {
 	before, err := t.serverVersion(ctx, base)
 	if err != nil {
 		return reloadResponse{}, err
 	}
+	var body any
+	if t.cfg.ModelName != "" {
+		body = map[string]string{"model": t.cfg.ModelName}
+	}
 	var out reloadResponse
-	if err := t.postJSON(ctx, base, "/v1/reload", nil, &out); err != nil {
+	if err := t.postJSON(ctx, base, "/v1/reload", body, &out); err != nil {
 		return out, err
 	}
 	if out.ModelVersion <= before {
@@ -530,7 +548,10 @@ func (t *Trainer) pushReload(ctx context.Context, base string) (reloadResponse, 
 	return out, nil
 }
 
-// serverVersion reads the served model version from base's /healthz.
+// serverVersion reads the served model version from base's /healthz —
+// the top-level version of the default snapshot, or, with
+// Config.ModelName, the named model's own counter from the registry's
+// models tree.
 func (t *Trainer) serverVersion(ctx context.Context, base string) (uint64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
@@ -546,9 +567,19 @@ func (t *Trainer) serverVersion(ctx context.Context, base string) (uint64, error
 	}
 	var health struct {
 		ModelVersion uint64 `json:"model_version"`
+		Models       map[string]struct {
+			ModelVersion uint64 `json:"model_version"`
+		} `json:"models"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health); err != nil {
 		return 0, err
+	}
+	if name := t.cfg.ModelName; name != "" {
+		nm, ok := health.Models[name]
+		if !ok {
+			return 0, fmt.Errorf("/healthz lists no model %q (is the server running the multi-model registry?)", name)
+		}
+		return nm.ModelVersion, nil
 	}
 	return health.ModelVersion, nil
 }
