@@ -19,6 +19,15 @@
 // When the -o file already exists, new results are merged into it
 // (same-name entries overwritten), so one ledger can accumulate the
 // whole smoke set across several `go test` invocations.
+//
+// Compare mode gates CI on the committed ledger:
+//
+//	benchjson -compare BENCH_9.json /tmp/bench-smoke.json -tolerance 0.15
+//
+// Every benchmark present in BOTH ledgers is checked; the run exits
+// non-zero when any new ns/op exceeds old*(1+tolerance). Names present
+// in only one ledger are reported but never fail the run — the smoke
+// set and the committed ledger drift as benchmarks are added.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -59,7 +69,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "-", "output file to write (and merge into, when it exists); - for stdout")
+	compare := flag.Bool("compare", false, "compare two ledgers (old.json new.json) instead of parsing stdin; exit non-zero on ns/op regression")
+	tol := flag.Float64("tolerance", 0.10, "compare mode: allowed fractional ns/op growth before a benchmark counts as regressed")
 	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *tol))
+	}
 
 	led := ledger{Benchmarks: map[string]entry{}}
 	if *out != "-" {
@@ -121,4 +137,78 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("benchjson: %d results parsed, %d total in %s\n", parsed, len(led.Benchmarks), *out)
+}
+
+// runCompare implements -compare. The flag package stops option parsing
+// at the first positional, so `-tolerance 0.15` written after the two
+// ledger paths lands in args — scan them back out rather than force a
+// flags-before-paths calling convention on CI scripts.
+func runCompare(args []string, tol float64) int {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-tolerance" || a == "--tolerance":
+			if i+1 >= len(args) {
+				log.Fatal("-tolerance needs a value")
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				log.Fatalf("bad -tolerance %q: %v", args[i], err)
+			}
+			tol = v
+		default:
+			paths = append(paths, a)
+		}
+	}
+	if len(paths) != 2 {
+		log.Fatalf("-compare takes exactly two ledgers (old.json new.json), got %d args", len(paths))
+	}
+	old, cur := readLedger(paths[0]), readLedger(paths[1])
+
+	names := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressed := 0
+	for _, name := range names {
+		o := old.Benchmarks[name]
+		n, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  %-52s only in %s (skipped)\n", name, paths[0])
+			continue
+		}
+		delta := n.NsPerOp/o.NsPerOp - 1
+		mark := "ok  "
+		if n.NsPerOp > o.NsPerOp*(1+tol) {
+			mark = "FAIL"
+			regressed++
+		}
+		fmt.Printf("  %s %-48s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, name, o.NsPerOp, n.NsPerOp, 100*delta)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; !ok {
+			fmt.Printf("  %-52s only in %s (new, skipped)\n", name, paths[1])
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) regressed beyond %.0f%% tolerance\n", regressed, 100*tol)
+		return 1
+	}
+	fmt.Printf("benchjson: no regressions beyond %.0f%% tolerance\n", 100*tol)
+	return 0
+}
+
+func readLedger(path string) ledger {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var led ledger
+	if err := json.Unmarshal(data, &led); err != nil {
+		log.Fatalf("%s is not a benchjson ledger: %v", path, err)
+	}
+	return led
 }

@@ -112,6 +112,8 @@ func main() {
 		shardLo = flag.Int("shard-lo", 0, "shard mode: first item (inclusive) of the served partition")
 		shardHi = flag.Int("shard-hi", 0, "shard mode: item upper bound (exclusive; -1 = end of catalogue; 0 = full-catalogue mode)")
 
+		binaryBatch = flag.Bool("binary-batch", true, "serve the binary columnar batch endpoint POST /v2/batch (POST /v2/shard/topm in shard mode)")
+
 		maxInFlight = flag.Int("max-inflight", 0, "admission control: concurrent data-plane requests (0 = unbounded)")
 		maxQueue    = flag.Int("max-queue", 0, "admission control: waiters beyond -max-inflight before shedding 429 (0 = 2x max-inflight)")
 		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long a queued request may wait for a slot (0 = 100ms)")
@@ -142,6 +144,9 @@ func main() {
 		MaxInFlight:     *maxInFlight,
 		MaxQueue:        *maxQueue,
 		QueueWait:       *queueWait,
+		// The flag reads positively ("serve the binary endpoint?"), the
+		// config negatively (zero value = enabled).
+		DisableBinaryBatch: !*binaryBatch,
 	}
 	if *dataPath != "" || *preset != "" {
 		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)

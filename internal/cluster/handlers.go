@@ -37,6 +37,15 @@ type metrics struct {
 	probeFailures expvar.Int
 	marksDown     expvar.Int
 	repairs       expvar.Int
+	// batchBinary tracks the binary columnar transport (/v2/batch):
+	// requests, summed user fan-out, frame bytes written, and frames
+	// refused by the wire decoder.
+	batchBinary struct {
+		requests      expvar.Int
+		users         expvar.Int
+		bytesOut      expvar.Int
+		decodeRejects expvar.Int
+	}
 }
 
 func newMetrics() *metrics { return &metrics{start: time.Now()} }
@@ -61,6 +70,7 @@ func (rt *Router) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/recommend", rt.instrument(rt.gate.Wrap(rt.handleRecommend)))
 	mux.HandleFunc("POST /v1/batch", rt.instrument(rt.gate.Wrap(rt.handleBatch)))
+	mux.HandleFunc("POST /v2/batch", rt.instrument(rt.gate.Wrap(rt.handleBatchBinary)))
 	mux.HandleFunc("POST /v1/admin/flip", rt.instrument(rt.handleFlip))
 	mux.HandleFunc("GET /healthz", rt.instrument(rt.handleHealthz))
 	mux.HandleFunc("GET /readyz", rt.instrument(rt.handleReadyz))
@@ -460,6 +470,12 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 			"repairs":    rt.m.repairs.Value(),
 		},
 		"shards_health": rt.healthRows(),
+		"batch_binary": map[string]any{
+			"requests":       rt.m.batchBinary.requests.Value(),
+			"users":          rt.m.batchBinary.users.Value(),
+			"bytes_out":      rt.m.batchBinary.bytesOut.Value(),
+			"decode_rejects": rt.m.batchBinary.decodeRejects.Value(),
+		},
 		"cache": map[string]any{
 			"hits":      rt.stats.Hits(),
 			"misses":    rt.stats.Misses(),

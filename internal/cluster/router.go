@@ -135,6 +135,13 @@ type Config struct {
 	// never share cache entries. Stages must be deterministic and every
 	// stage must declare a non-empty CacheKey. Nil entries are dropped.
 	Stages []rank.Stage
+	// ShardWire selects the wire format of the scatter's shard calls:
+	// "json" (the default) posts /v1/shard/topm, "binary" posts the
+	// columnar frames of internal/wire to /v2/shard/topm — same partials,
+	// same validation, no JSON marshalling on the hot path. The shards
+	// must serve the binary endpoints (they do unless started with
+	// -binary-batch=false).
+	ShardWire string
 	// HTTPClient overrides the client used for shard calls (tests;
 	// custom transports). Nil means a client with no overall timeout —
 	// per-attempt deadlines come from Timeout.
@@ -174,6 +181,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBudget == 0 {
 		c.RetryBudget = 0.2
+	}
+	if c.ShardWire == "" {
+		c.ShardWire = "json"
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
@@ -265,6 +275,9 @@ func New(cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: MaxInFlight must be >= 0, got %d", cfg.MaxInFlight)
 	case cfg.QueueWait < 0:
 		return nil, fmt.Errorf("cluster: QueueWait must be >= 0, got %v", cfg.QueueWait)
+	}
+	if w := cfg.ShardWire; w != "" && w != "json" && w != "binary" {
+		return nil, fmt.Errorf("cluster: ShardWire must be \"json\" or \"binary\", got %q", w)
 	}
 	stages := cfg.Stages[:0:0]
 	for _, st := range cfg.Stages {
@@ -519,7 +532,7 @@ func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardT
 	attempt := func() {
 		actx, cancel := context.WithTimeout(ctx, rt.cfg.Timeout)
 		defer cancel()
-		p, err := rt.postShardTopM(actx, sh, req)
+		p, err := rt.postShard(actx, sh, req)
 		ch <- result{p, err}
 	}
 	pending := 1
@@ -582,11 +595,75 @@ func (rt *Router) callShard(ctx context.Context, sh shardRoute, req serve.ShardT
 	}
 }
 
-// postShardTopM performs one /v1/shard/topm attempt and validates the
-// partial: the version pin held, the shard answered for its route-table
+// postShard performs one shard attempt over the configured wire format.
+func (rt *Router) postShard(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
+	if rt.cfg.ShardWire == "binary" {
+		return rt.postShardTopMBinary(ctx, sh, req)
+	}
+	return rt.postShardTopM(ctx, sh, req)
+}
+
+// shardHTTPError maps a shard's non-200 answer (always a JSON error
+// body, on either wire format) to the scatter's typed errors:
+// deterministic 400s become requestErrors (they outrank outages), 409 is
+// the rollout-window version skew the breaker must never count, 504 is
+// deadline exhaustion, and everything else a shard-side failure.
+func shardHTTPError(endpoint string, status int, data []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := fmt.Sprintf("%s: HTTP %d", endpoint, status)
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return &requestError{status: http.StatusBadRequest, msg: msg}
+	case http.StatusConflict:
+		// Rollout-window version skew of a healthy shard; typed so the
+		// breaker never counts it.
+		return fmt.Errorf("%w: %s", errVersionConflict, msg)
+	case http.StatusGatewayTimeout:
+		// The shard shed the work because the propagated deadline budget
+		// had expired; surface it as deadline exhaustion so the router
+		// answers 504, not 502.
+		return fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
+	}
+	// 5xx (and anything unexpected) is a shard-side failure; the
+	// fail-closed/degraded policy decides what it means.
+	return errors.New(msg)
+}
+
+// validatePartial enforces the merge preconditions shared by both wire
+// formats: the version pin held, the shard answered for its route-table
 // range, every item is inside that range, and the list follows the tie
-// rule. A partial failing validation is treated as a shard failure —
-// merging it could silently corrupt the global list.
+// rule (descending score, ties by ascending item). A partial failing
+// validation is treated as a shard failure — merging it could silently
+// corrupt the global list.
+func validatePartial(sh shardRoute, p rank.Partial, version uint64, lo, hi int, pin uint64) error {
+	if version != pin {
+		return fmt.Errorf("shard answered for model version %d, pinned %d", version, pin)
+	}
+	if lo != sh.lo || hi != sh.hi {
+		return fmt.Errorf("shard owns [%d,%d) but the route table says [%d,%d) — stale table, re-flip",
+			lo, hi, sh.lo, sh.hi)
+	}
+	for n, it := range p.Items {
+		if it < sh.lo || it >= sh.hi {
+			return fmt.Errorf("shard returned item %d outside its range [%d,%d)", it, sh.lo, sh.hi)
+		}
+		if n > 0 {
+			prevS, prevI := p.Scores[n-1], p.Items[n-1]
+			if p.Scores[n] > prevS || (p.Scores[n] == prevS && it <= prevI) {
+				return fmt.Errorf("shard partial violates the tie rule at rank %d", n)
+			}
+		}
+	}
+	return nil
+}
+
+// postShardTopM performs one /v1/shard/topm attempt and validates the
+// partial (see validatePartial).
 func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
 	rt.m.shardCalls.Add(1)
 	body, err := json.Marshal(req)
@@ -616,54 +693,19 @@ func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.Sh
 		return rank.Partial{}, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		msg := fmt.Sprintf("/v1/shard/topm: HTTP %d", resp.StatusCode)
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		switch resp.StatusCode {
-		case http.StatusBadRequest:
-			return rank.Partial{}, &requestError{status: http.StatusBadRequest, msg: msg}
-		case http.StatusConflict:
-			// Rollout-window version skew of a healthy shard; typed so the
-			// breaker never counts it.
-			return rank.Partial{}, fmt.Errorf("%w: %s", errVersionConflict, msg)
-		case http.StatusGatewayTimeout:
-			// The shard shed the work because the propagated deadline
-			// budget had expired; surface it as deadline exhaustion so the
-			// router answers 504, not 502.
-			return rank.Partial{}, fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
-		}
-		// 5xx (and anything unexpected) is a shard-side failure; the
-		// fail-closed/degraded policy decides what it means.
-		return rank.Partial{}, errors.New(msg)
+		return rank.Partial{}, shardHTTPError("/v1/shard/topm", resp.StatusCode, data)
 	}
 	var out serve.ShardTopMResponse
 	if err := json.Unmarshal(data, &out); err != nil {
 		return rank.Partial{}, err
 	}
-	if out.ModelVersion != req.ExpectVersion {
-		return rank.Partial{}, fmt.Errorf("shard answered for model version %d, pinned %d", out.ModelVersion, req.ExpectVersion)
-	}
-	if out.ShardLo != sh.lo || out.ShardHi != sh.hi {
-		return rank.Partial{}, fmt.Errorf("shard owns [%d,%d) but the route table says [%d,%d) — stale table, re-flip",
-			out.ShardLo, out.ShardHi, sh.lo, sh.hi)
-	}
 	p := rank.Partial{Items: make([]int, len(out.Items)), Scores: make([]float64, len(out.Items))}
 	for n, it := range out.Items {
-		if it.Item < sh.lo || it.Item >= sh.hi {
-			return rank.Partial{}, fmt.Errorf("shard returned item %d outside its range [%d,%d)", it.Item, sh.lo, sh.hi)
-		}
-		if n > 0 {
-			prevS, prevI := p.Scores[n-1], p.Items[n-1]
-			if it.Score > prevS || (it.Score == prevS && it.Item <= prevI) {
-				return rank.Partial{}, fmt.Errorf("shard partial violates the tie rule at rank %d", n)
-			}
-		}
 		p.Items[n] = it.Item
 		p.Scores[n] = it.Score
+	}
+	if err := validatePartial(sh, p, out.ModelVersion, out.ShardLo, out.ShardHi, req.ExpectVersion); err != nil {
+		return rank.Partial{}, err
 	}
 	return p, nil
 }

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/rank"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+// The router's side of the binary columnar transport (internal/wire):
+// POST /v2/batch accepts request frames from clients, and with
+// Config.ShardWire "binary" the scatter posts frames to the shards'
+// /v2/shard/topm — validated exactly like the JSON partials
+// (validatePartial), merged without re-marshalling. Error responses stay
+// JSON on both hops; only 200s carry frames.
+
+// binScratch pools the per-request workspace of the binary endpoints.
+type binScratch struct {
+	body    []byte
+	req     wire.BatchRequest
+	resp    wire.BatchResponse
+	spec    serve.FilterSpec
+	exclude []int
+	status  []uint8
+	cols    rank.BatchCols
+	res     []routedRes
+	out     []byte
+}
+
+// routedRes carries one user's merged list from a scatter goroutine to
+// the ordered column append.
+type routedRes struct {
+	items    []int
+	scores   []float64
+	cached   bool
+	degraded bool
+	failed   bool
+}
+
+var binScratchPool = sync.Pool{New: func() any { return new(binScratch) }}
+
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) int {
+	return writeJSON(w, status, map[string]string{"code": code, "error": msg})
+}
+
+// postShardTopMBinary is the binary-wire shard attempt: the request
+// frame carries the user, the over-fetched m, the shared filters and the
+// version pin; the response frame must be a single-user shard partial,
+// and passes the same validation as the JSON path before it may merge.
+func (rt *Router) postShardTopMBinary(ctx context.Context, sh shardRoute, req serve.ShardTopMRequest) (rank.Partial, error) {
+	rt.m.shardCalls.Add(1)
+	wreq := wire.BatchRequest{
+		M:             uint32(req.M),
+		ExpectVersion: req.ExpectVersion,
+		Users:         []uint32{uint32(req.User)},
+	}
+	for _, e := range req.ExcludeItems {
+		wreq.Exclude = append(wreq.Exclude, uint32(e))
+	}
+	if req.Filter != nil {
+		wreq.AllowTags = req.Filter.AllowTags
+		wreq.DenyTags = req.Filter.DenyTags
+	}
+	body := wire.AppendBatchRequest(nil, &wreq)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.url+"/v2/shard/topm", bytes.NewReader(body))
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	hreq.Header.Set("Content-Type", serve.FrameContentType)
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
+	resp, err := rt.cfg.HTTPClient.Do(hreq)
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return rank.Partial{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rank.Partial{}, shardHTTPError("/v2/shard/topm", resp.StatusCode, data)
+	}
+	var out wire.BatchResponse
+	if err := wire.DecodeBatchResponse(data, &out); err != nil {
+		return rank.Partial{}, fmt.Errorf("bad shard frame: %w", err)
+	}
+	if out.Flags&wire.FlagShardPartial == 0 {
+		return rank.Partial{}, errors.New("shard frame is not marked as a partition partial")
+	}
+	if len(out.Counts) != 1 {
+		return rank.Partial{}, fmt.Errorf("shard frame carries %d users, want 1", len(out.Counts))
+	}
+	if out.Status[0]&wire.StatusError != 0 {
+		return rank.Partial{}, errors.New("shard frame marks the user failed")
+	}
+	p := rank.Partial{Items: make([]int, len(out.Items)), Scores: make([]float64, len(out.Items))}
+	for n, it := range out.Items {
+		p.Items[n] = int(it)
+		p.Scores[n] = out.Scores[n]
+	}
+	if err := validatePartial(sh, p, out.ModelVersion, int(out.ShardLo), int(out.ShardHi), req.ExpectVersion); err != nil {
+		return rank.Partial{}, err
+	}
+	return p, nil
+}
+
+// handleBatchBinary answers POST /v2/batch with the frame format,
+// semantics mirroring the JSON handleBatch: shared exclusions and tag
+// filters validated once, per-user scatter-gather merges through the
+// same fingerprint cache and singleflight. The response header carries
+// FlagRouterMerge with the route epoch in the modelVersion field; a
+// degraded merge sets the user's StatusDegraded bit (never cached, as
+// on the JSON path).
+func (rt *Router) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
+	sc := binScratchPool.Get().(*binScratch)
+	defer binScratchPool.Put(sc)
+	body, err := appendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	sc.body = body
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+		}
+		return writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+	}
+	req := &sc.req
+	if err := wire.DecodeBatchRequest(body, req); err != nil {
+		rt.m.batchBinary.decodeRejects.Add(1)
+		return writeErrorCode(w, http.StatusBadRequest, "bad_frame", err.Error())
+	}
+	if req.Tenant != "" || req.ExpectVersion != 0 {
+		rt.m.batchBinary.decodeRejects.Add(1)
+		return writeErrorCode(w, http.StatusBadRequest, "bad_frame",
+			"the router serves the default path only: tenant and expect_version must be empty")
+	}
+	if len(req.Users) == 0 {
+		return writeError(w, http.StatusBadRequest, "users must be non-empty")
+	}
+	if len(req.Users) > rt.cfg.MaxBatch {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d users exceeds the router cap of %d", len(req.Users), rt.cfg.MaxBatch))
+	}
+	m, err := rt.clampM(int(req.M))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	tbl, err := rt.loadTable()
+	if err != nil {
+		return rt.writeFailure(w, err)
+	}
+	sc.exclude = sc.exclude[:0]
+	for _, e := range req.Exclude {
+		i := int(e)
+		if i >= tbl.items {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("exclude item %d out of range (%d items)", i, tbl.items))
+		}
+		sc.exclude = append(sc.exclude, i)
+	}
+	var spec *serve.FilterSpec
+	if len(req.AllowTags) > 0 || len(req.DenyTags) > 0 {
+		sc.spec = serve.FilterSpec{AllowTags: req.AllowTags, DenyTags: req.DenyTags}
+		spec = &sc.spec
+	}
+	ctx, cancel := rt.requestContext(r)
+	defer cancel()
+	if cap(sc.res) < len(req.Users) {
+		sc.res = make([]routedRes, len(req.Users))
+	}
+	res := sc.res[:len(req.Users)]
+	serveUser := func(n int) {
+		u := int(req.Users[n])
+		if u < 0 || u >= tbl.users {
+			res[n] = routedRes{failed: true}
+			return
+		}
+		items, scores, cached, degraded, err := rt.recommendOne(ctx, tbl, u, m, sc.exclude, spec)
+		if err != nil {
+			res[n] = routedRes{failed: true}
+			return
+		}
+		res[n] = routedRes{items: items, scores: scores, cached: cached, degraded: degraded}
+	}
+	if len(req.Users) == 1 {
+		serveUser(0)
+	} else {
+		parallel.For(len(req.Users), rt.cfg.Workers, func(n int, _ *parallel.Scratch) {
+			serveUser(n)
+		})
+	}
+	status := sc.status[:0]
+	cols := &sc.cols
+	cols.Reset()
+	for n := range res {
+		b := uint8(0)
+		if res[n].failed {
+			b |= wire.StatusError
+			cols.AppendEmpty()
+		} else {
+			if res[n].cached {
+				b |= wire.StatusCached
+			}
+			if res[n].degraded {
+				b |= wire.StatusDegraded
+			}
+			cols.Append(res[n].items, res[n].scores, res[n].cached)
+		}
+		status = append(status, b)
+		res[n] = routedRes{}
+	}
+	sc.status = status
+	sc.out = wire.AppendBatchResponse(sc.out[:0], &wire.BatchResponse{
+		Flags:        wire.FlagRouterMerge,
+		M:            uint32(m),
+		ModelVersion: tbl.epoch,
+		Status:       status,
+		Counts:       cols.Counts,
+		Items:        cols.Items,
+		Scores:       cols.Scores,
+	})
+	rt.m.batchBinary.requests.Add(1)
+	rt.m.batchBinary.users.Add(int64(len(req.Users)))
+	rt.m.batchBinary.bytesOut.Add(int64(len(sc.out)))
+	w.Header().Set("Content-Type", serve.FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.out)
+	return http.StatusOK
+}
+
+// appendAll reads r to EOF into dst, reusing its capacity.
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}

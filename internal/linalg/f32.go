@@ -18,6 +18,9 @@ func DotF32(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic("linalg: DotF32 length mismatch")
 	}
+	// Reslicing b to len(a) lets the compiler prove all four b indices in
+	// bounds from the loop condition alone, dropping the per-lane checks.
+	b = b[:len(a)]
 	var s0, s1, s2, s3 float32
 	n := len(a)
 	i := 0
@@ -49,11 +52,36 @@ func ScoreF32(dst []float64, fu, fi []float32, bi []float32, userBias float64) {
 	if bi != nil && len(bi) != len(dst) {
 		panic("linalg: ScoreF32 bias length mismatch")
 	}
-	for i := range dst {
-		z := DotF32(fu, fi[i*k:(i+1)*k]) + userBias
-		if bi != nil {
-			z += float64(bi[i])
+	// The nil-bias branch is hoisted out of the item loop and the factor
+	// row advances by reslicing instead of recomputing i*k — both loops
+	// perform the identical float operations in the identical order as the
+	// single-loop form ((dot + userBias) + bi[i]), so scores stay
+	// bit-identical; reassociating that chain would break the binary/JSON
+	// transport property tests, which compare math.Float64bits.
+	//
+	// Note on the mmap32-vs-heap64 gap in BenchmarkScoreUserF32: the
+	// -benchtime 1x smoke numbers measure page touch, not compute. mmap64
+	// runs the heap64 float64 code on the same machine yet trails it
+	// 1.5–3× at 1x (e.g. 41µs vs 26µs; the committed ledger recorded 81µs
+	// vs 25µs), and converges to within a few percent at -benchtime 200x
+	// once the mapping is resident. mmap32's residual steady-state gap
+	// (~23µs vs ~13µs at K=50) is this kernel, not residency: per item it
+	// streams half the bytes but still performs the dot in float32 lanes
+	// that the compiler does not vectorize as aggressively as the float64
+	// loop. The reslice hints above recover ~10% of that.
+	row := fi
+	if bi == nil {
+		for i := range dst {
+			z := DotF32(fu, row[:k]) + userBias
+			row = row[k:]
+			dst[i] = 1 - math.Exp(-z)
 		}
+		return
+	}
+	for i := range dst {
+		z := DotF32(fu, row[:k]) + userBias
+		row = row[k:]
+		z += float64(bi[i])
 		dst[i] = 1 - math.Exp(-z)
 	}
 }

@@ -1,0 +1,108 @@
+package rank
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// BatchCols is the columnar result shape of a batch request: ranked
+// lists for n users appended end to end into flat columns, Counts saying
+// where each user's slice ends. The columns are caller-owned — a serving
+// layer keeps one per pooled request scratch and encodes them onto the
+// wire without reshaping — while the appended item/score values are
+// copied out of the engine's cache-shared slices, so the columns stay
+// valid after the cache evicts or a snapshot is swapped.
+type BatchCols struct {
+	Counts []uint32
+	Items  []uint32
+	Scores []float64
+	Cached []bool
+}
+
+// Reset empties the columns, keeping their capacity.
+func (c *BatchCols) Reset() {
+	c.Counts = c.Counts[:0]
+	c.Items = c.Items[:0]
+	c.Scores = c.Scores[:0]
+	c.Cached = c.Cached[:0]
+}
+
+// Append adds one user's ranked list to the columns.
+func (c *BatchCols) Append(items []int, scores []float64, cached bool) {
+	c.Counts = append(c.Counts, uint32(len(items)))
+	for _, it := range items {
+		c.Items = append(c.Items, uint32(it))
+	}
+	c.Scores = append(c.Scores, scores...)
+	c.Cached = append(c.Cached, cached)
+}
+
+// AppendEmpty adds one user's slot with no items — the shape a serving
+// layer gives a user it rejected before ranking.
+func (c *BatchCols) AppendEmpty() {
+	c.Counts = append(c.Counts, 0)
+	c.Cached = append(c.Cached, false)
+}
+
+// batchRes carries one user's result from a ranking goroutine to the
+// ordered append; the slices are cache-shared engine results, only read.
+type batchRes struct {
+	items  []int
+	scores []float64
+	cached bool
+	ok     bool
+}
+
+// batchResPool recycles the per-call result scratch so a warm batch loop
+// does not allocate it per request.
+var batchResPool = sync.Pool{New: func() any { s := make([]batchRes, 0, 64); return &s }}
+
+// TopMBatch ranks many users through the same cached, coalesced pipeline
+// as TopMStaged — score → filter → select → re-rank per user, identical
+// cache keys, fingerprints and singleflight coalescing — and appends the
+// results into cols in input order. filtersFor builds the filter set for
+// the i-th user (it may be called concurrently, each i at most once);
+// returning ok=false skips ranking and appends an empty slot, letting
+// the caller flag that user however its transport does. workers > 1
+// ranks users concurrently with input order preserved in cols.
+func (e *Engine) TopMBatch(users []int, m, workers int, stages []Stage, filtersFor func(i int) ([]Filter, bool), cols *BatchCols) {
+	stages = compactStages(stages)
+	if workers <= 1 || len(users) == 1 {
+		for i, u := range users {
+			filters, ok := filtersFor(i)
+			if !ok {
+				cols.AppendEmpty()
+				continue
+			}
+			items, scores, cached := e.topM(u, m, stages, filters)
+			cols.Append(items, scores, cached)
+		}
+		return
+	}
+	resP := batchResPool.Get().(*[]batchRes)
+	res := *resP
+	if cap(res) < len(users) {
+		res = make([]batchRes, len(users))
+	}
+	res = res[:len(users)]
+	parallel.For(len(users), workers, func(i int, _ *parallel.Scratch) {
+		filters, ok := filtersFor(i)
+		if !ok {
+			res[i] = batchRes{}
+			return
+		}
+		items, scores, cached := e.topM(users[i], m, stages, filters)
+		res[i] = batchRes{items: items, scores: scores, cached: cached, ok: true}
+	})
+	for i := range res {
+		if !res[i].ok {
+			cols.AppendEmpty()
+			continue
+		}
+		cols.Append(res[i].items, res[i].scores, res[i].cached)
+		res[i] = batchRes{}
+	}
+	*resP = res[:0]
+	batchResPool.Put(resP)
+}

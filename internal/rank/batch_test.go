@@ -1,0 +1,88 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TopMBatch must be the per-user pipeline verbatim: for every user, in
+// input order, the columns hold exactly what TopMStaged returns — same
+// items, bit-identical scores, same cache interaction.
+func TestTopMBatchMatchesTopMStaged(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	scores := make([][]float64, 12)
+	for u := range scores {
+		scores[u] = make([]float64, 40)
+		for i := range scores[u] {
+			scores[u][i] = rng.Float64()
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		sc := &fixedScorer{scores: scores}
+		e := NewEngine(sc, Config{CacheSize: 64})
+		ref := NewEngine(&fixedScorer{scores: scores}, Config{CacheSize: 64})
+		users := []int{3, 0, 7, 3, 11, 5}
+		filters := []Filter{ExcludeItems([]int{2, 9})}
+		stages := []Stage{ScoreFloor(0.1)}
+		filtersFor := func(i int) ([]Filter, bool) {
+			if users[i] == 5 {
+				return nil, false // simulate a serving-layer rejection
+			}
+			return filters, true
+		}
+		var cols BatchCols
+		e.TopMBatch(users, 6, workers, stages, filtersFor, &cols)
+		if len(cols.Counts) != len(users) || len(cols.Cached) != len(users) {
+			t.Fatalf("workers=%d: got %d counts for %d users", workers, len(cols.Counts), len(users))
+		}
+		at := 0
+		for i, u := range users {
+			n := int(cols.Counts[i])
+			if u == 5 {
+				if n != 0 {
+					t.Fatalf("workers=%d: rejected user got %d items", workers, n)
+				}
+				continue
+			}
+			wantItems, wantScores, _ := ref.TopMStaged(u, 6, stages, filters...)
+			if n != len(wantItems) {
+				t.Fatalf("workers=%d user %d: %d items, want %d", workers, u, n, len(wantItems))
+			}
+			for j := 0; j < n; j++ {
+				if int(cols.Items[at+j]) != wantItems[j] {
+					t.Fatalf("workers=%d user %d item %d: %d != %d", workers, u, j, cols.Items[at+j], wantItems[j])
+				}
+				if math.Float64bits(cols.Scores[at+j]) != math.Float64bits(wantScores[j]) {
+					t.Fatalf("workers=%d user %d score %d differs", workers, u, j)
+				}
+			}
+			at += n
+		}
+		// The duplicated user (3) must have hit the cache on its second
+		// appearance, exactly like two sequential TopMStaged calls.
+		if hits := e.Stats().Hits() + e.Stats().Coalesced(); hits < 1 {
+			t.Fatalf("workers=%d: duplicate user missed the cache (hits+coalesced=%d)", workers, hits)
+		}
+	}
+}
+
+// Batch results are copied out of the cache-shared slices: mutating the
+// columns must not corrupt a later cache hit.
+func TestTopMBatchCopiesOutOfCache(t *testing.T) {
+	sc := &fixedScorer{scores: [][]float64{{5, 4, 3, 2, 1}}}
+	e := NewEngine(sc, Config{CacheSize: 8})
+	var cols BatchCols
+	e.TopMBatch([]int{0}, 3, 1, nil, func(int) ([]Filter, bool) { return nil, true }, &cols)
+	for i := range cols.Items {
+		cols.Items[i] = 999
+		cols.Scores[i] = -1
+	}
+	items, scores, cached := e.TopM(0, 3)
+	if !cached {
+		t.Fatal("expected a cache hit after the batch")
+	}
+	if items[0] != 0 || scores[0] != 5 {
+		t.Fatalf("cache entry corrupted by column mutation: %v %v", items, scores)
+	}
+}

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/rank"
+	"repro/internal/wire"
+)
+
+// The binary columnar batch transport: POST /v2/batch speaks the
+// length-prefixed frame format of internal/wire instead of JSON, with
+// semantics mirroring /v1/batch exactly — same clamping, same tenant
+// routing, same filter validation, same cache/fingerprint/coalescing
+// behaviour (both transports call the same rank pipeline). Only the
+// encoding differs: ranked lists flow from the engine's cache-shared
+// slices into a pooled output buffer and out in a single Write, with
+// zero allocation in steady state.
+//
+// Negotiation: request frames failing wire validation (bad magic,
+// version, flags, or layout) are a 400 with the stable error code
+// "bad_frame"; all error responses stay JSON (writeError shapes), only
+// 200s carry a binary frame, identified by Content-Type
+// application/x-ocular-frame.
+
+// FrameContentType identifies a binary batch frame in an HTTP body.
+const FrameContentType = "application/x-ocular-frame"
+
+// binScratch is the pooled per-request workspace of the binary path:
+// request body, decoded frame, id conversions, result columns and the
+// encoded response all live here, so a warm binary request allocates
+// only what the ranking itself does.
+type binScratch struct {
+	body    []byte
+	req     wire.BatchRequest
+	spec    FilterSpec
+	users   []int
+	exclude []int
+	status  []uint8
+	cols    rank.BatchCols
+	out     []byte
+}
+
+var binScratchPool = sync.Pool{New: func() any { return new(binScratch) }}
+
+// appendAll reads r to EOF into dst (reusing its capacity) — io.ReadAll
+// without the fresh buffer per call.
+func appendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// readFrame reads and decodes one request frame under the body cap,
+// reporting rejects to the decode counter. A non-nil error has already
+// been written to w (with its status returned).
+func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, sc *binScratch) (int, bool) {
+	body, err := appendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	sc.body = body
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)), false
+		}
+		return writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err)), false
+	}
+	if err := wire.DecodeBatchRequest(body, &sc.req); err != nil {
+		s.metrics.batchBinary.decodeRejects.Add(1)
+		return writeErrorCode(w, http.StatusBadRequest, "bad_frame", err.Error()), false
+	}
+	return 0, true
+}
+
+// specAndExclude translates the decoded frame's filter sections into the
+// shapes requestFilters takes, reusing the scratch.
+func (sc *binScratch) specAndExclude() (*FilterSpec, []int) {
+	sc.exclude = sc.exclude[:0]
+	for _, e := range sc.req.Exclude {
+		sc.exclude = append(sc.exclude, int(e))
+	}
+	var spec *FilterSpec
+	if len(sc.req.AllowTags) > 0 || len(sc.req.DenyTags) > 0 {
+		sc.spec = FilterSpec{AllowTags: sc.req.AllowTags, DenyTags: sc.req.DenyTags}
+		spec = &sc.spec
+	}
+	return spec, sc.exclude
+}
+
+func (sc *binScratch) statusSlice(n int) []uint8 {
+	if cap(sc.status) < n {
+		sc.status = make([]uint8, n)
+	}
+	sc.status = sc.status[:n]
+	for i := range sc.status {
+		sc.status[i] = 0
+	}
+	return sc.status
+}
+
+// writeFrame encodes resp into the pooled output buffer, feeds the
+// transport counters and writes the frame in one Write call.
+func (s *Server) writeFrame(w http.ResponseWriter, sc *binScratch, resp *wire.BatchResponse) int {
+	sc.out = wire.AppendBatchResponse(sc.out[:0], resp)
+	s.metrics.batchBinary.requests.Add(1)
+	s.metrics.batchBinary.users.Add(int64(len(resp.Counts)))
+	s.metrics.batchBinary.bytesOut.Add(int64(len(sc.out)))
+	w.Header().Set("Content-Type", FrameContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.out)
+	return http.StatusOK
+}
+
+func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
+	sc := binScratchPool.Get().(*binScratch)
+	defer binScratchPool.Put(sc)
+	if status, ok := s.readFrame(w, r, sc); !ok {
+		return status
+	}
+	req := &sc.req
+	if req.ExpectVersion != 0 {
+		s.metrics.batchBinary.decodeRejects.Add(1)
+		return writeErrorCode(w, http.StatusBadRequest, "bad_frame",
+			"expect_version is a shard-path field; it must be 0 on /v2/batch")
+	}
+	if len(req.Users) == 0 {
+		return writeError(w, http.StatusBadRequest, "users must be non-empty")
+	}
+	if len(req.Users) > s.cfg.MaxBatch {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d users exceeds the server cap of %d", len(req.Users), s.cfg.MaxBatch))
+	}
+	m, err := s.clampM(int(req.M))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	defRt, err := s.resolve(req.Tenant, 0)
+	if err != nil {
+		return writeErrorCode(w, http.StatusNotFound, "unknown_tenant", err.Error())
+	}
+	spec, exclude := sc.specAndExclude()
+	status := sc.statusSlice(len(req.Users))
+	cols := &sc.cols
+	cols.Reset()
+	if req.Tenant == "" {
+		// Default path: shared filters validated once, then the columnar
+		// engine entry point ranks the whole batch — per-user work is the
+		// training-row filter plus the shared extras, same as JSON.
+		sn := defRt.sn
+		extra, err := s.requestFilters(sn, exclude, spec)
+		if err != nil {
+			return writeError(w, http.StatusBadRequest, err.Error())
+		}
+		users := sc.users[:0]
+		for _, u := range req.Users {
+			users = append(users, int(u))
+		}
+		sc.users = users
+		sn.engine.TopMBatch(users, m, s.cfg.Workers, sn.stages, func(i int) ([]rank.Filter, bool) {
+			u := users[i]
+			if u < 0 || u >= sn.numUsers() {
+				status[i] = wire.StatusError
+				return nil, false
+			}
+			fl := make([]rank.Filter, 0, len(extra)+1)
+			fl = append(fl, rank.TrainRow(sn.train, u))
+			fl = append(fl, extra...)
+			return fl, true
+		}, cols)
+	} else {
+		// Tenant path: each user resolves to its own arm, whose snapshot
+		// the filters are re-validated against — exactly the JSON batch's
+		// per-user routing, plus the arm's binary-transport counter.
+		for i, u32 := range req.Users {
+			u := int(u32)
+			rt, _ := s.resolve(req.Tenant, u)
+			filters, ferr := s.requestFilters(rt.sn, exclude, spec)
+			if ferr != nil {
+				status[i] = wire.StatusError
+				cols.AppendEmpty()
+				continue
+			}
+			items, scores, cached, rerr := s.rankOne(rt, u, m, filters)
+			if rerr != nil {
+				status[i] = wire.StatusError
+				cols.AppendEmpty()
+				continue
+			}
+			if rt.arm != nil {
+				rt.arm.binary.Add(1)
+			}
+			cols.Append(items, scores, cached)
+		}
+	}
+	for i, c := range cols.Cached {
+		if c {
+			status[i] |= wire.StatusCached
+		}
+	}
+	return s.writeFrame(w, sc, &wire.BatchResponse{
+		M:            uint32(m),
+		ModelVersion: s.snap.Load().version,
+		Status:       status,
+		Counts:       cols.Counts,
+		Items:        cols.Items,
+		Scores:       cols.Scores,
+	})
+}
+
+// handleShardTopMBinary is handleShardTopM over the binary frames: one
+// user per frame, expect_version carried in the header, the partial
+// marked with FlagShardPartial and global item ids. Deadline checks,
+// version pinning and filter rebasing mirror the JSON shard path.
+func (s *Server) handleShardTopMBinary(w http.ResponseWriter, r *http.Request) int {
+	deadline, hasDeadline := deadlineFromHeader(r)
+	sc := binScratchPool.Get().(*binScratch)
+	defer binScratchPool.Put(sc)
+	if status, ok := s.readFrame(w, r, sc); !ok {
+		return status
+	}
+	req := &sc.req
+	if len(req.Users) != 1 || req.Tenant != "" {
+		s.metrics.batchBinary.decodeRejects.Add(1)
+		return writeErrorCode(w, http.StatusBadRequest, "bad_frame",
+			"shard frames carry exactly one user and no tenant")
+	}
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.metrics.deadlineAborts.Add(1)
+		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
+	}
+	m, err := s.clampM(int(req.M))
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	sn := s.snap.Load()
+	if req.ExpectVersion != 0 && sn.version != req.ExpectVersion {
+		if prev := s.prev.Load(); prev != nil && prev.version == req.ExpectVersion {
+			sn = prev
+		} else {
+			return writeError(w, http.StatusConflict, fmt.Sprintf(
+				"shard serves model version %d, not the requested %d", sn.version, req.ExpectVersion))
+		}
+	}
+	user := int(req.Users[0])
+	if user < 0 || user >= sn.numUsers() {
+		return writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("user %d out of range (%d users)", user, sn.numUsers()))
+	}
+	spec, exclude := sc.specAndExclude()
+	extra, err := s.requestFilters(sn, exclude, spec)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error())
+	}
+	lo, hi := sn.rng.ItemLo(), sn.rng.ItemHi()
+	filters := make([]rank.Filter, 0, len(extra)+1)
+	filters = append(filters, rank.OffsetRange(rank.TrainRow(sn.train, user), lo, hi))
+	for _, f := range extra {
+		filters = append(filters, rank.OffsetRange(f, lo, hi))
+	}
+	if hasDeadline && !time.Now().Before(deadline) {
+		s.metrics.deadlineAborts.Add(1)
+		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
+	}
+	items, scores, _ := sn.engine.TopM(user, m, filters...)
+	// Translate partition-local ids back to global while laying out the
+	// items column; the scores column is the engine's slice as-is.
+	cols := &sc.cols
+	cols.Reset()
+	cols.Counts = append(cols.Counts, uint32(len(items)))
+	for _, it := range items {
+		cols.Items = append(cols.Items, uint32(it+lo))
+	}
+	status := sc.statusSlice(1)
+	return s.writeFrame(w, sc, &wire.BatchResponse{
+		Flags:        wire.FlagShardPartial,
+		M:            uint32(m),
+		ShardLo:      uint32(lo),
+		ShardHi:      uint32(hi),
+		ModelVersion: sn.version,
+		Status:       status,
+		Counts:       cols.Counts,
+		Items:        cols.Items,
+		Scores:       scores,
+	})
+}

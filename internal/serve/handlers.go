@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/explain"
@@ -18,8 +19,8 @@ import (
 
 // endpointNames registers every instrumented endpoint with Metrics.
 var endpointNames = []string{
-	"recommend", "foldin", "explain", "batch", "ingest", "reload", "healthz", "readyz", "metrics",
-	"shard_topm",
+	"recommend", "foldin", "explain", "batch", "batch_binary", "ingest", "reload", "healthz", "readyz", "metrics",
+	"shard_topm", "shard_topm_binary",
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -31,6 +32,9 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/foldin", s.metrics.instrument("foldin", s.gate.Wrap(s.handleFoldIn)))
 	mux.HandleFunc("POST /v1/explain", s.metrics.instrument("explain", s.gate.Wrap(s.handleExplain)))
 	mux.HandleFunc("POST /v1/batch", s.metrics.instrument("batch", s.gate.Wrap(s.handleBatch)))
+	if !s.cfg.DisableBinaryBatch {
+		mux.HandleFunc("POST /v2/batch", s.metrics.instrument("batch_binary", s.gate.Wrap(s.handleBatchBinary)))
+	}
 	mux.HandleFunc("POST /v1/ingest", s.metrics.instrument("ingest", s.handleIngest))
 	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
@@ -210,34 +214,49 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 // and, when the user is in the tenant's shadow sample, launches the
 // off-path shadow comparison.
 func (s *Server) recommendOne(rt route, user, m int, extra []rank.Filter) (RecommendResponse, error) {
+	items, scores, cached, err := s.rankOne(rt, user, m, extra)
+	if err != nil {
+		return RecommendResponse{}, err
+	}
+	resp := RecommendResponse{
+		User:         user,
+		Items:        zipScored(items, scores),
+		Cached:       cached,
+		ModelVersion: rt.sn.version,
+	}
+	if a := rt.arm; a != nil {
+		resp.Tenant = rt.tenant.name
+		resp.Experiment = a.expName
+		resp.Arm = a.name
+		resp.Model = a.model.name
+	}
+	return resp, nil
+}
+
+// rankOne is the transport-agnostic core of recommendOne: rank one routed
+// user and return the engine's cache-shared slices (read-only for the
+// caller), leaving response shaping — JSON structs or binary columns —
+// to the transport. Arm counters and the shadow sample fire here so both
+// transports feed the same observability.
+func (s *Server) rankOne(rt route, user, m int, extra []rank.Filter) (items []int, scores []float64, cached bool, err error) {
 	sn := rt.sn
 	if user < 0 || user >= sn.model.NumUsers() {
 		if rt.arm != nil {
 			rt.arm.errors.Add(1)
 		}
-		return RecommendResponse{}, fmt.Errorf("user %d out of range (%d users)", user, sn.model.NumUsers())
+		return nil, nil, false, fmt.Errorf("user %d out of range (%d users)", user, sn.model.NumUsers())
 	}
 	filters := make([]rank.Filter, 0, len(extra)+1)
 	filters = append(filters, rank.TrainRow(sn.train, user))
 	filters = append(filters, extra...)
-	items, scores, cached := sn.engine.TopMStaged(user, m, sn.stages, filters...)
-	resp := RecommendResponse{
-		User:         user,
-		Items:        zipScored(items, scores),
-		Cached:       cached,
-		ModelVersion: sn.version,
-	}
+	items, scores, cached = sn.engine.TopMStaged(user, m, sn.stages, filters...)
 	if a := rt.arm; a != nil {
 		a.requests.Add(1)
-		resp.Tenant = rt.tenant.name
-		resp.Experiment = a.expName
-		resp.Arm = a.name
-		resp.Model = a.model.name
 		if sh := rt.tenant.shadow; sh != nil {
 			sh.observe(a.name, a.model.name, sn.version, user, m, extra, items, scores)
 		}
 	}
-	return resp, nil
+	return items, scores, cached, nil
 }
 
 // FoldInRequest asks for cold-start recommendations: the item history of a
@@ -468,7 +487,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 			return writeError(w, http.StatusBadRequest, err.Error())
 		}
 	}
-	results := make([]BatchResult, len(req.Users))
+	// Response structs and per-user item slices come from a pooled
+	// scratch: one flat ScoredItem buffer carved into per-user windows
+	// (disjoint, so the parallel fan-out below stays race-free), reused
+	// across requests so the steady-state batch path allocates neither
+	// results nor item slices.
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	results := sc.results(len(req.Users))
+	flat := sc.items(len(req.Users) * m)
 	serveUser := func(n int) {
 		u := req.Users[n]
 		rt, filters := defRt, extra
@@ -483,7 +510,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				return
 			}
 		}
-		resp, err := s.recommendOne(rt, u, m, filters)
+		items, scores, cached, err := s.rankOne(rt, u, m, filters)
 		if err != nil {
 			results[n] = BatchResult{User: u, Error: err.Error()}
 			if rt.arm != nil {
@@ -491,10 +518,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 			}
 			return
 		}
-		results[n] = BatchResult{User: u, Items: resp.Items, Cached: resp.Cached}
+		dst := flat[n*m : n*m : (n+1)*m]
+		for i := range items {
+			dst = append(dst, ScoredItem{Item: items[i], Score: scores[i]})
+		}
+		results[n] = BatchResult{User: u, Items: dst, Cached: cached}
 		if rt.arm != nil {
 			results[n].Arm = rt.arm.name
-			results[n].ArmModelVersion = resp.ModelVersion
+			results[n].ArmModelVersion = rt.sn.version
 		}
 	}
 	if len(req.Users) == 1 {
@@ -506,6 +537,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		})
 	}
 	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: s.snap.Load().version})
+}
+
+// batchScratch is the pooled per-request backing store of a JSON batch
+// response: the result slots plus one flat ScoredItem buffer the slots'
+// item slices are carved from. Returned to the pool only after writeJSON
+// has serialized the response.
+type batchScratch struct {
+	res  []BatchResult
+	flat []ScoredItem
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) results(n int) []BatchResult {
+	if cap(sc.res) < n {
+		sc.res = make([]BatchResult, n)
+	}
+	sc.res = sc.res[:n]
+	return sc.res
+}
+
+func (sc *batchScratch) items(n int) []ScoredItem {
+	if cap(sc.flat) < n {
+		sc.flat = make([]ScoredItem, n)
+	}
+	sc.flat = sc.flat[:n]
+	return sc.flat
 }
 
 // IngestEvent is one new positive example to append to the interaction

@@ -83,6 +83,19 @@ type Metrics struct {
 	// propagated deadline budget (see DeadlineHeader) had already expired
 	// before scoring started — wasted work the deadline check saved.
 	deadlineAborts expvar.Int
+	// batchBinary tracks the binary columnar transport (/v2/batch and the
+	// shard /v2/shard/topm) separately from the per-endpoint histograms,
+	// so the JSON/binary transport split is observable: users is the
+	// summed batch fan-out, bytesOut the frame bytes written, and
+	// decodeRejects the frames refused by the wire decoder (bad magic,
+	// version, flags, or layout) — the counter to watch when a client
+	// upgrade goes wrong.
+	batchBinary struct {
+		requests      expvar.Int
+		users         expvar.Int
+		bytesOut      expvar.Int
+		decodeRejects expvar.Int
+	}
 }
 
 func newMetrics(endpointNames []string, stats *rank.Stats) *Metrics {
@@ -134,6 +147,12 @@ func (m *Metrics) snapshot(version uint64, cacheEntries int, gate *Gate) map[str
 			"entries":   cacheEntries,
 		},
 		"endpoints": eps,
+		"batch_binary": map[string]any{
+			"requests":       m.batchBinary.requests.Value(),
+			"users":          m.batchBinary.users.Value(),
+			"bytes_out":      m.batchBinary.bytesOut.Value(),
+			"decode_rejects": m.batchBinary.decodeRejects.Value(),
+		},
 	}
 	if adm := gate.Snapshot(); adm != nil {
 		out["admission"] = adm

@@ -296,7 +296,11 @@ type arm struct {
 	stats    *rank.Stats
 	requests atomic.Int64
 	errors   atomic.Int64
-	snap     atomic.Pointer[snapshot]
+	// binary counts the subset of requests that arrived over the binary
+	// columnar transport (/v2/batch), so the JSON/binary split is
+	// observable per arm, not just per server.
+	binary atomic.Int64
+	snap   atomic.Pointer[snapshot]
 }
 
 const (
@@ -683,6 +687,8 @@ func (r *registry) metricsTree() map[string]any {
 					"model_version": sn.version,
 					"requests":      a.requests.Load(),
 					"errors":        a.errors.Load(),
+					// Subset of requests served over the binary transport.
+					"binary_requests": a.binary.Load(),
 					"cache": map[string]any{
 						"hits":      a.stats.Hits(),
 						"misses":    a.stats.Misses(),

@@ -121,6 +121,11 @@ type Config struct {
 	// (the router owns the fingerprint cache) and take no Feed.
 	ShardLo int
 	ShardHi int
+	// DisableBinaryBatch removes the binary columnar batch endpoints
+	// (POST /v2/batch, and POST /v2/shard/topm in shard mode) from the
+	// mux. The zero value serves them: the binary transport changes no
+	// JSON semantics and costs nothing when unused.
+	DisableBinaryBatch bool
 }
 
 // shardMode reports whether the configuration selects shard mode.

@@ -131,6 +131,9 @@ func (s *Server) buildShardMux() *http.ServeMux {
 	// must keep working on an overloaded shard.
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/shard/topm", s.metrics.instrument("shard_topm", s.gate.Wrap(s.handleShardTopM)))
+	if !s.cfg.DisableBinaryBatch {
+		mux.HandleFunc("POST /v2/shard/topm", s.metrics.instrument("shard_topm_binary", s.gate.Wrap(s.handleShardTopMBinary)))
+	}
 	mux.HandleFunc("POST /v1/reload", s.metrics.instrument("reload", s.handleReload))
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.metrics.instrument("readyz", s.handleReadyz))

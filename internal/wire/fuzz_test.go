@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeBatchFrame throws arbitrary bytes at both frame decoders.
+// The invariants under fuzz: no panic, and no allocation beyond a
+// bounded cap — a decoder that survives checkHeader can only grow its
+// scratch slices after proving the counts fit inside the frame, so every
+// column's capacity is bounded by the frame length itself.
+func FuzzDecodeBatchFrame(f *testing.F) {
+	f.Add(AppendBatchRequest(nil, &BatchRequest{
+		M:         10,
+		Users:     []uint32{0, 1, 2},
+		Exclude:   []uint32{7},
+		AllowTags: []string{"drama"},
+		DenyTags:  []string{"kids"},
+		Tenant:    "acme",
+	}))
+	f.Add(AppendBatchResponse(nil, &BatchResponse{
+		Flags:        FlagShardPartial,
+		M:            2,
+		ShardLo:      0,
+		ShardHi:      100,
+		ModelVersion: 3,
+		Status:       []uint8{0, StatusCached},
+		Counts:       []uint32{2, 1},
+		Items:        []uint32{5, 6, 9},
+		Scores:       []float64{0.9, 0.5, 0.4},
+	}))
+	// Torn tail: a valid response frame with the final score sheared off
+	// mid-word, as a broken proxy or truncated read would produce it.
+	torn := AppendBatchResponse(nil, &BatchResponse{
+		M:      1,
+		Status: []uint8{0},
+		Counts: []uint32{1},
+		Items:  []uint32{42},
+		Scores: []float64{0.25},
+	})
+	f.Add(torn[:len(torn)-5])
+	// Wrong endian: header words written big-endian, as a naive foreign
+	// client might. The magic matches but every count is byte-swapped.
+	wrongEndian := AppendBatchRequest(nil, &BatchRequest{M: 10, Users: []uint32{1, 2}})
+	binary.BigEndian.PutUint64(wrongEndian[8:], uint64(len(wrongEndian)))
+	binary.BigEndian.PutUint32(wrongEndian[24:], 2)
+	f.Add(wrongEndian)
+	f.Add([]byte(MagicRequest))
+	f.Add([]byte(MagicResponse))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req BatchRequest
+		if err := DecodeBatchRequest(data, &req); err == nil {
+			assertBounded(t, len(data), 4*cap(req.Users), "users")
+			assertBounded(t, len(data), 4*cap(req.Exclude), "exclude")
+			assertBounded(t, len(data), 2*cap(req.AllowTags), "allow tags")
+			assertBounded(t, len(data), 2*cap(req.DenyTags), "deny tags")
+			assertBounded(t, len(data), len(req.Tenant), "tenant")
+		}
+		var resp BatchResponse
+		if err := DecodeBatchResponse(data, &resp); err == nil {
+			assertBounded(t, len(data), cap(resp.Status), "status")
+			assertBounded(t, len(data), 4*cap(resp.Counts), "counts")
+			assertBounded(t, len(data), 4*cap(resp.Items), "items")
+			assertBounded(t, len(data), 8*cap(resp.Scores), "scores")
+		}
+	})
+}
+
+// assertBounded fails if a decoded column's backing memory exceeds the
+// frame that produced it (append may round capacity up, so allow the
+// usual growth slack of 2x plus a small constant).
+func assertBounded(t *testing.T, frameLen, colBytes int, name string) {
+	t.Helper()
+	if colBytes > 2*frameLen+64 {
+		t.Fatalf("%s column holds %d bytes from a %d-byte frame", name, colBytes, frameLen)
+	}
+}
