@@ -71,7 +71,10 @@ func (rt *Router) postShardTopMBinary(ctx context.Context, sh shardRoute, req se
 		wreq.AllowTags = req.Filter.AllowTags
 		wreq.DenyTags = req.Filter.DenyTags
 	}
-	body := wire.AppendBatchRequest(nil, &wreq)
+	body, err := wire.AppendBatchRequest(nil, &wreq)
+	if err != nil {
+		return rank.Partial{}, err
+	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.url+"/v2/shard/topm", bytes.NewReader(body))
 	if err != nil {
 		return rank.Partial{}, err
@@ -128,7 +131,7 @@ func (rt *Router) postShardTopMBinary(ctx context.Context, sh shardRoute, req se
 func (rt *Router) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
 	sc := binScratchPool.Get().(*binScratch)
 	defer binScratchPool.Put(sc)
-	body, err := appendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	body, err := wire.AppendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
 	sc.body = body
 	if err != nil {
 		var tooLarge *http.MaxBytesError
@@ -240,21 +243,4 @@ func (rt *Router) handleBatchBinary(w http.ResponseWriter, r *http.Request) int 
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(sc.out)
 	return http.StatusOK
-}
-
-// appendAll reads r to EOF into dst, reusing its capacity.
-func appendAll(dst []byte, r io.Reader) ([]byte, error) {
-	for {
-		if len(dst) == cap(dst) {
-			dst = append(dst, 0)[:len(dst)]
-		}
-		n, err := r.Read(dst[len(dst):cap(dst)])
-		dst = dst[:len(dst)+n]
-		if err == io.EOF {
-			return dst, nil
-		}
-		if err != nil {
-			return dst, err
-		}
-	}
 }

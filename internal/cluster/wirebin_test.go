@@ -16,7 +16,17 @@ import (
 
 func postFrame(t testing.TB, url string, req *wire.BatchRequest) (int, []byte) {
 	t.Helper()
-	return postRaw(t, url, wire.AppendBatchRequest(nil, req))
+	return postRaw(t, url, mustFrame(t, req))
+}
+
+// mustFrame encodes a request the test knows to be representable.
+func mustFrame(t testing.TB, req *wire.BatchRequest) []byte {
+	t.Helper()
+	frame, err := wire.AppendBatchRequest(nil, req)
+	if err != nil {
+		t.Fatalf("append request: %v", err)
+	}
+	return frame
 }
 
 func postRaw(t testing.TB, url string, body []byte) (int, []byte) {
@@ -139,8 +149,8 @@ func TestRouterBatchBinary(t *testing.T) {
 	// with the stable code, counted as decode rejects.
 	badCases := [][]byte{
 		[]byte("{\"users\":[1]}"),
-		wire.AppendBatchRequest(nil, &wire.BatchRequest{M: 5, Users: []uint32{1}, Tenant: "acme"}),
-		wire.AppendBatchRequest(nil, &wire.BatchRequest{M: 5, Users: []uint32{1}, ExpectVersion: 3}),
+		mustFrame(t, &wire.BatchRequest{M: 5, Users: []uint32{1}, Tenant: "acme"}),
+		mustFrame(t, &wire.BatchRequest{M: 5, Users: []uint32{1}, ExpectVersion: 3}),
 	}
 	for i, body := range badCases {
 		st, data := postRaw(t, tr.routerTS.URL+"/v2/batch", body)

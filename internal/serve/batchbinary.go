@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -47,29 +46,11 @@ type binScratch struct {
 
 var binScratchPool = sync.Pool{New: func() any { return new(binScratch) }}
 
-// appendAll reads r to EOF into dst (reusing its capacity) — io.ReadAll
-// without the fresh buffer per call.
-func appendAll(dst []byte, r io.Reader) ([]byte, error) {
-	for {
-		if len(dst) == cap(dst) {
-			dst = append(dst, 0)[:len(dst)]
-		}
-		n, err := r.Read(dst[len(dst):cap(dst)])
-		dst = dst[:len(dst)+n]
-		if err == io.EOF {
-			return dst, nil
-		}
-		if err != nil {
-			return dst, err
-		}
-	}
-}
-
 // readFrame reads and decodes one request frame under the body cap,
 // reporting rejects to the decode counter. A non-nil error has already
 // been written to w (with its status returned).
 func (s *Server) readFrame(w http.ResponseWriter, r *http.Request, sc *binScratch) (int, bool) {
-	body, err := appendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, err := wire.AppendAll(sc.body[:0], http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	sc.body = body
 	if err != nil {
 		var tooLarge *http.MaxBytesError

@@ -17,7 +17,17 @@ import (
 // the response Content-Type and the raw body.
 func postFrame(t testing.TB, url string, req *wire.BatchRequest) (int, string, []byte) {
 	t.Helper()
-	return postRaw(t, url, wire.AppendBatchRequest(nil, req))
+	return postRaw(t, url, mustFrame(t, req))
+}
+
+// mustFrame encodes a request the test knows to be representable.
+func mustFrame(t testing.TB, req *wire.BatchRequest) []byte {
+	t.Helper()
+	frame, err := wire.AppendBatchRequest(nil, req)
+	if err != nil {
+		t.Fatalf("append request: %v", err)
+	}
+	return frame
 }
 
 func postRaw(t testing.TB, url string, body []byte) (int, string, []byte) {
@@ -223,7 +233,7 @@ func TestBatchBinaryTenantMatchesJSON(t *testing.T) {
 // every reject shows up in the batch_binary.decode_rejects counter.
 func TestBatchBinaryNegotiation(t *testing.T) {
 	_, ts, _, _ := newTestServer(t, Config{})
-	valid := wire.AppendBatchRequest(nil, &wire.BatchRequest{M: 5, Users: []uint32{1}})
+	valid := mustFrame(t, &wire.BatchRequest{M: 5, Users: []uint32{1}})
 	wrongMagic := append([]byte(nil), valid...)
 	copy(wrongMagic, "NOTAFRAM")
 	badVersion := append([]byte(nil), valid...)
@@ -422,5 +432,5 @@ func BenchmarkBatchBinary(b *testing.B) {
 	for _, u := range users {
 		req.Users = append(req.Users, uint32(u))
 	}
-	benchBatch(b, "/v2/batch", wire.AppendBatchRequest(nil, &req), len(users))
+	benchBatch(b, "/v2/batch", mustFrame(b, &req), len(users))
 }

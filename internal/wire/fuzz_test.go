@@ -11,7 +11,7 @@ import (
 // scratch slices after proving the counts fit inside the frame, so every
 // column's capacity is bounded by the frame length itself.
 func FuzzDecodeBatchFrame(f *testing.F) {
-	f.Add(AppendBatchRequest(nil, &BatchRequest{
+	f.Add(mustAppend(f, nil, &BatchRequest{
 		M:         10,
 		Users:     []uint32{0, 1, 2},
 		Exclude:   []uint32{7},
@@ -42,10 +42,16 @@ func FuzzDecodeBatchFrame(f *testing.F) {
 	f.Add(torn[:len(torn)-5])
 	// Wrong endian: header words written big-endian, as a naive foreign
 	// client might. The magic matches but every count is byte-swapped.
-	wrongEndian := AppendBatchRequest(nil, &BatchRequest{M: 10, Users: []uint32{1, 2}})
+	wrongEndian := mustAppend(f, nil, &BatchRequest{M: 10, Users: []uint32{1, 2}})
 	binary.BigEndian.PutUint64(wrongEndian[8:], uint64(len(wrongEndian)))
 	binary.BigEndian.PutUint32(wrongEndian[24:], 2)
 	f.Add(wrongEndian)
+	// Overlapping sections: nUsers=2 and nExclude=2 each fit the 8-byte
+	// body alone but not together; only a joint bound on the section
+	// sizes keeps the exclude column from reading past the frame.
+	overlap := mustAppend(f, nil, &BatchRequest{M: 1, Users: []uint32{1, 2}})
+	binary.LittleEndian.PutUint32(overlap[28:], 2)
+	f.Add(overlap)
 	f.Add([]byte(MagicRequest))
 	f.Add([]byte(MagicResponse))
 

@@ -1,0 +1,24 @@
+package wire
+
+import "io"
+
+// AppendAll reads r to EOF into dst, reusing its capacity — io.ReadAll
+// without the fresh buffer per call. Both binary transports (serve and
+// the router) pull request bodies into pooled scratch through it, so the
+// read path shares the frame codec's zero-steady-state-allocation
+// contract.
+func AppendAll(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}

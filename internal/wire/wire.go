@@ -165,14 +165,23 @@ func responseLen(nUsers, t int) (itemsOff, scoresOff, total int) {
 
 // AppendBatchRequest appends req as one request frame to dst and returns
 // the extended slice. With a reused dst (capacity kept across calls) the
-// steady state allocates nothing.
-func AppendBatchRequest(dst []byte, req *BatchRequest) []byte {
-	tagBytes := 0
-	for _, t := range req.AllowTags {
-		tagBytes += 2 + len(t)
+// steady state allocates nothing. A request that cannot be represented —
+// a tag count or tag length past the uint16 wire fields — is rejected
+// here rather than silently truncated into a frame decoders would call
+// malformed; dst is returned unextended alongside the error.
+func AppendBatchRequest(dst []byte, req *BatchRequest) ([]byte, error) {
+	if len(req.AllowTags) > math.MaxUint16 || len(req.DenyTags) > math.MaxUint16 {
+		return dst, fmt.Errorf("wire: %d allow + %d deny tags exceed the uint16 count fields",
+			len(req.AllowTags), len(req.DenyTags))
 	}
-	for _, t := range req.DenyTags {
-		tagBytes += 2 + len(t)
+	tagBytes := 0
+	for _, tags := range [2][]string{req.AllowTags, req.DenyTags} {
+		for _, t := range tags {
+			if len(t) > math.MaxUint16 {
+				return dst, fmt.Errorf("wire: tag of %d bytes exceeds the uint16 length field", len(t))
+			}
+			tagBytes += 2 + len(t)
+		}
 	}
 	total := requestLen(len(req.Users), len(req.Exclude), tagBytes, len(req.Tenant))
 	dst = grow(dst, total)
@@ -207,7 +216,7 @@ func AppendBatchRequest(dst []byte, req *BatchRequest) []byte {
 		}
 	}
 	copy(hdr[at:], req.Tenant)
-	return dst
+	return dst, nil
 }
 
 // DecodeBatchRequest parses one request frame into req, reusing its
@@ -234,9 +243,12 @@ func DecodeBatchRequest(data []byte, req *BatchRequest) error {
 	// Bound every count by what the frame can physically hold before
 	// growing any slice: each user or exclusion costs 4 bytes, each tag
 	// at least 2, so a hostile header cannot force an allocation larger
-	// than the frame itself.
+	// than the frame itself. The per-count bounds also keep each term
+	// below MaxFrameLen, so the joint sum — which the fixed-width reads
+	// below rely on — cannot overflow.
 	body := len(data) - HeaderSize
-	if nUsers > body/4 || nExclude > body/4 || tenantLen > body || (nAllow+nDeny) > body/2 {
+	if nUsers > body/4 || nExclude > body/4 || tenantLen > body || (nAllow+nDeny) > body/2 ||
+		4*nUsers+4*nExclude+2*(nAllow+nDeny)+tenantLen > body {
 		return fmt.Errorf("wire: header counts exceed the %d-byte frame", len(data))
 	}
 	at := HeaderSize

@@ -8,6 +8,16 @@ import (
 	"testing"
 )
 
+// mustAppend encodes a request the test knows to be representable.
+func mustAppend(tb testing.TB, dst []byte, req *BatchRequest) []byte {
+	tb.Helper()
+	frame, err := AppendBatchRequest(dst, req)
+	if err != nil {
+		tb.Fatalf("append request: %v", err)
+	}
+	return frame
+}
+
 func sampleRequest() *BatchRequest {
 	return &BatchRequest{
 		M:             25,
@@ -36,7 +46,7 @@ func sampleResponse() *BatchResponse {
 
 func TestRequestRoundTrip(t *testing.T) {
 	want := sampleRequest()
-	frame := AppendBatchRequest(nil, want)
+	frame := mustAppend(t, nil, want)
 	var got BatchRequest
 	if err := DecodeBatchRequest(frame, &got); err != nil {
 		t.Fatalf("decode: %v", err)
@@ -54,7 +64,7 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestRequestRoundTripEmptySections(t *testing.T) {
 	want := &BatchRequest{M: 10, Users: []uint32{1}}
-	frame := AppendBatchRequest(nil, want)
+	frame := mustAppend(t, nil, want)
 	var got BatchRequest
 	if err := DecodeBatchRequest(frame, &got); err != nil {
 		t.Fatalf("decode: %v", err)
@@ -88,7 +98,7 @@ func TestResponseRoundTrip(t *testing.T) {
 // The decoders must reuse caller slices: a second decode into the same
 // struct may not allocate.
 func TestDecodeReusesScratch(t *testing.T) {
-	reqFrame := AppendBatchRequest(nil, &BatchRequest{M: 5, Users: []uint32{1, 2, 3}, Exclude: []uint32{9}})
+	reqFrame := mustAppend(t, nil, &BatchRequest{M: 5, Users: []uint32{1, 2, 3}, Exclude: []uint32{9}})
 	respFrame := AppendBatchResponse(nil, sampleResponse())
 	var req BatchRequest
 	var resp BatchResponse
@@ -125,8 +135,9 @@ func TestEncodeZeroAlloc(t *testing.T) {
 }
 
 func TestRejects(t *testing.T) {
-	req := AppendBatchRequest(nil, sampleRequest())
+	req := mustAppend(t, nil, sampleRequest())
 	resp := AppendBatchResponse(nil, sampleResponse())
+	smallReq := mustAppend(t, nil, &BatchRequest{M: 1, Users: []uint32{1, 2}})
 	mut := func(frame []byte, f func(b []byte)) []byte {
 		b := append([]byte(nil), frame...)
 		f(b)
@@ -146,6 +157,10 @@ func TestRejects(t *testing.T) {
 		{"request/length absurd", mut(req, func(b []byte) { binary.LittleEndian.PutUint64(b[8:], 1<<40) })},
 		{"request/truncated body", req[:len(req)-3]},
 		{"request/count exceeds frame", mut(req, func(b []byte) { binary.LittleEndian.PutUint32(b[24:], 1<<30) })},
+		// The reviewer's overlap frame: nUsers=2 and nExclude=2 each fit
+		// the 8-byte body alone but not together — the joint bound must
+		// reject it before the exclude column reads past the frame.
+		{"request/sections overlap", mut(smallReq, func(b []byte) { binary.LittleEndian.PutUint32(b[28:], 2) })},
 		{"request/tag overrun", mut(req, func(b []byte) {
 			// First allow tag sits right after users+exclude; inflate its length.
 			at := HeaderSize + 4*4 + 4*2
@@ -187,12 +202,30 @@ func TestRejects(t *testing.T) {
 // A frame with slack bytes after the last section must be rejected even
 // when the declared length covers the slack.
 func TestRejectSlackBytes(t *testing.T) {
-	req := AppendBatchRequest(nil, &BatchRequest{M: 1, Users: []uint32{1}})
+	req := mustAppend(t, nil, &BatchRequest{M: 1, Users: []uint32{1}})
 	padded := append(append([]byte(nil), req...), 0, 0, 0, 0)
 	binary.LittleEndian.PutUint64(padded[8:], uint64(len(padded)))
 	var r BatchRequest
 	if err := DecodeBatchRequest(padded, &r); err == nil {
 		t.Fatal("request frame with slack bytes accepted")
+	}
+}
+
+// Requests the uint16 wire fields cannot represent must fail the encode,
+// not truncate into a frame every decoder rejects as malformed.
+func TestAppendRequestRejectsUnrepresentableTags(t *testing.T) {
+	if _, err := AppendBatchRequest(nil, &BatchRequest{
+		Users:     []uint32{1},
+		AllowTags: []string{strings.Repeat("x", 1<<16)},
+	}); err == nil {
+		t.Fatal("tag longer than 64 KiB encoded without error")
+	}
+	many := make([]string, 1<<16)
+	for i := range many {
+		many[i] = "t"
+	}
+	if _, err := AppendBatchRequest(nil, &BatchRequest{Users: []uint32{1}, DenyTags: many}); err == nil {
+		t.Fatal("more than 65535 tags encoded without error")
 	}
 }
 
