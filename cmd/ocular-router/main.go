@@ -63,6 +63,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rank"
 	"repro/internal/serve"
 )
@@ -102,6 +103,10 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "admission control: waiters beyond -max-inflight before shedding 429 (0 = 2x max-inflight)")
 		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long a queued request may wait for a slot (0 = 100ms)")
 		drainWait   = flag.Duration("drain-wait", 3*time.Second, "on SIGTERM, how long /readyz reports unready before connections drain")
+
+		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for GET /debug/traces (0 = 256; negative disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 0, "log a slow-request line for traced requests at or above this duration (0 disables)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	if *shards == "" {
@@ -146,10 +151,20 @@ func main() {
 		MaxInFlight:      *maxInFlight,
 		MaxQueue:         *maxQueue,
 		QueueWait:        *queueWait,
+		TraceRing:        *traceRing,
+		TraceSlow:        *traceSlow,
 		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pprofAddr != "" {
+		ln, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("pprof on %s", ln.Addr())
 	}
 
 	// Retry the initial refresh so shards and router may start in any

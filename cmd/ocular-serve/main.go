@@ -75,6 +75,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/rank"
 	"repro/internal/serve"
 )
@@ -118,6 +119,10 @@ func main() {
 		maxQueue    = flag.Int("max-queue", 0, "admission control: waiters beyond -max-inflight before shedding 429 (0 = 2x max-inflight)")
 		queueWait   = flag.Duration("queue-wait", 0, "admission control: how long a queued request may wait for a slot (0 = 100ms)")
 		drainWait   = flag.Duration("drain-wait", 3*time.Second, "on SIGTERM, how long /readyz reports unready before connections drain (lets balancers stop sending)")
+
+		traceRing = flag.Int("trace-ring", 0, "recent request traces kept for GET /debug/traces (0 = 256; negative disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 0, "log a slow-request line for traced requests at or above this duration (0 disables)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	if *modelPath == "" {
@@ -147,6 +152,16 @@ func main() {
 		// The flag reads positively ("serve the binary endpoint?"), the
 		// config negatively (zero value = enabled).
 		DisableBinaryBatch: !*binaryBatch,
+		TraceRing:          *traceRing,
+		TraceSlow:          *traceSlow,
+	}
+	if *pprofAddr != "" {
+		ln, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("pprof on %s", ln.Addr())
 	}
 	if *dataPath != "" || *preset != "" {
 		d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)

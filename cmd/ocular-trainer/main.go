@@ -38,8 +38,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -49,6 +51,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trainer"
 )
 
@@ -83,6 +86,9 @@ func main() {
 		warmUsers = flag.Int("warm-cache", 64, "after a rollout, warm the server's rank cache for this many of the hottest users (0 disables)")
 		warmM     = flag.Int("warm-cache-m", 10, "list length of cache-warming requests")
 		once      = flag.Bool("once", false, "run one unconditional retrain cycle and exit")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (backlog gauge, per-cycle phase durations; ?format=prometheus) on this address (empty disables)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	switch {
@@ -119,6 +125,26 @@ func main() {
 		}
 		cfg.Base = d.R
 		log.Printf("base matrix: %v", d)
+	}
+	if *metricsAddr != "" {
+		cfg.Metrics = trainer.NewMetrics()
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", cfg.Metrics)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on %s", *metricsAddr)
+	}
+	if *pprofAddr != "" {
+		ln, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("pprof on %s", ln.Addr())
 	}
 
 	tr, err := trainer.New(cfg)

@@ -19,6 +19,7 @@ import (
 	ocular "repro"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,8 +47,18 @@ func main() {
 		verbose = flag.Bool("v", false, "print objective per training iteration")
 		save    = flag.String("save", "", "write the trained model to this file (serve it with ocular-serve)")
 		saveF32 = flag.Bool("save-f32", true, "include a float32 copy of the factors in the saved model (ocular-serve scores it at half the memory traffic; score error < 1.5e-6 up to K=256, see linalg.ScoreErrorBoundF32)")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address while training (empty disables)")
 	)
 	flag.Parse()
+	if *pprofAddr != "" {
+		ln, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("pprof on %s", ln.Addr())
+	}
 
 	d, err := cliutil.LoadData(*dataPath, *sep, *threshold, *preset, *seed)
 	if err != nil {

@@ -1,0 +1,48 @@
+// Command promcheck validates Prometheus text exposition (format 0.0.4)
+// read from stdin or the files given as arguments: metric and label
+// name syntax, TYPE lines, family contiguity, and histogram invariants
+// (cumulative buckets, trailing +Inf equal to _count, _sum present).
+// CI pipes each tier's GET /metrics?format=prometheus through it; any
+// violation exits 1 with the offending line number.
+//
+//	curl -s 'localhost:8080/metrics?format=prometheus' | promcheck
+//	promcheck serve.prom router.prom
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := obs.CheckExposition(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("stdin: ok")
+		return
+	}
+	failed := false
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		err = obs.CheckExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

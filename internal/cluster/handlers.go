@@ -10,10 +10,16 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rank"
 	"repro/internal/serve"
 )
+
+// routerEndpointNames registers the router's instrumented endpoints.
+var routerEndpointNames = []string{
+	"recommend", "batch", "batch_binary", "flip", "healthz", "readyz", "metrics", "debug_traces",
+}
 
 // metrics counts the router's activity. Cache counters live in the
 // shared rank.Stats (the ListCache feeds them).
@@ -27,6 +33,12 @@ type metrics struct {
 	shardErrors expvar.Int
 	hedges      expvar.Int
 	flips       expvar.Int
+	// endpoints holds one log-scale latency histogram per instrumented
+	// endpoint (obs.Histogram: coherent snapshots, interpolated
+	// percentiles), same shape as the serve tier's.
+	endpoints map[string]*obs.Histogram
+	// writeErrors counts failed response writes (client gone mid-write).
+	writeErrors expvar.Int
 	// Resilience counters (PR 7): hedges refused by the retry budget,
 	// requests answered 504 on deadline exhaustion, and the prober's
 	// activity — probes run, probes failed, shards marked down, shards
@@ -48,7 +60,16 @@ type metrics struct {
 	}
 }
 
-func newMetrics() *metrics { return &metrics{start: time.Now()} }
+func newMetrics() *metrics {
+	m := &metrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*obs.Histogram, len(routerEndpointNames)),
+	}
+	for _, name := range routerEndpointNames {
+		m.endpoints[name] = &obs.Histogram{}
+	}
+	return m
+}
 
 // Handler returns the HTTP handler serving the router API: the
 // single-process /v1/recommend and /v1/batch surface, plus
@@ -68,23 +89,73 @@ func (rt *Router) buildMux() *http.ServeMux {
 	// The data path sits behind the admission gate (nil gate = no-op);
 	// flip, health, readiness and metrics are never shed.
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/recommend", rt.instrument(rt.gate.Wrap(rt.handleRecommend)))
-	mux.HandleFunc("POST /v1/batch", rt.instrument(rt.gate.Wrap(rt.handleBatch)))
-	mux.HandleFunc("POST /v2/batch", rt.instrument(rt.gate.Wrap(rt.handleBatchBinary)))
-	mux.HandleFunc("POST /v1/admin/flip", rt.instrument(rt.handleFlip))
-	mux.HandleFunc("GET /healthz", rt.instrument(rt.handleHealthz))
-	mux.HandleFunc("GET /readyz", rt.instrument(rt.handleReadyz))
-	mux.HandleFunc("GET /metrics", rt.instrument(rt.handleMetrics))
+	mux.HandleFunc("POST /v1/recommend", rt.instrument("recommend", rt.gate.Wrap(rt.handleRecommend)))
+	mux.HandleFunc("POST /v1/batch", rt.instrument("batch", rt.gate.Wrap(rt.handleBatch)))
+	mux.HandleFunc("POST /v2/batch", rt.instrument("batch_binary", rt.gate.Wrap(rt.handleBatchBinary)))
+	mux.HandleFunc("POST /v1/admin/flip", rt.instrument("flip", rt.handleFlip))
+	mux.HandleFunc("GET /healthz", rt.instrument("healthz", rt.handleHealthz))
+	mux.HandleFunc("GET /readyz", rt.instrument("readyz", rt.handleReadyz))
+	mux.HandleFunc("GET /metrics", rt.instrument("metrics", rt.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", rt.instrument("debug_traces", rt.handleDebugTraces))
 	return mux
 }
 
-func (rt *Router) instrument(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+// routerUntraced mirrors the serve tier's policy: probes and scrapes
+// never occupy the trace ring.
+var routerUntraced = map[string]bool{
+	"healthz": true, "readyz": true, "metrics": true, "debug_traces": true,
+}
+
+// countingWriter counts failed response writes, once per request.
+type countingWriter struct {
+	http.ResponseWriter
+	errs   *expvar.Int
+	failed bool
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	if err != nil && !cw.failed {
+		cw.failed = true
+		cw.errs.Add(1)
+	}
+	return n, err
+}
+
+// instrument wraps a router handler with the request/error counters,
+// the endpoint's latency histogram, failed-write counting, and — on
+// the data endpoints — request tracing: the edge mints (or adopts) the
+// trace ID, echoes it, and propagates it to every shard call.
+func (rt *Router) instrument(name string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+	em := rt.m.endpoints[name]
+	traced := !routerUntraced[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		rt.m.requests.Add(1)
-		if status := h(w, r); status >= 400 {
-			rt.m.errors.Add(1)
+		var act *obs.Active
+		if traced {
+			if act = rt.tracer.Start(name, r.Header.Get(obs.TraceHeader)); act != nil {
+				r = r.WithContext(obs.WithActive(r.Context(), act))
+				w.Header().Set(obs.TraceHeader, act.ID())
+			}
 		}
+		cw := &countingWriter{ResponseWriter: w, errs: &rt.m.writeErrors}
+		start := time.Now()
+		status := http.StatusInternalServerError
+		defer func() {
+			em.Observe(time.Since(start), status >= 400)
+			rt.tracer.Finish(act, status)
+			if status >= 400 {
+				rt.m.errors.Add(1)
+			}
+		}()
+		status = h(cw, r)
 	}
+}
+
+// handleDebugTraces serves the recent-traces ring, oldest first (empty
+// when tracing is disabled).
+func (rt *Router) handleDebugTraces(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, map[string]any{"traces": rt.tracer.Traces()})
 }
 
 // decode mirrors serve.Server's body handling: size cap, unknown fields
@@ -252,6 +323,7 @@ func (rt *Router) writeFailure(w http.ResponseWriter, err error) int {
 // bit-identical to single-process staged serving.
 func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int, exclude []int, spec *serve.FilterSpec) (items []int, scores []float64, cached, degraded bool, err error) {
 	stages := rt.cfg.Stages
+	act := obs.ActiveFrom(ctx)
 	shardReq := serve.ShardTopMRequest{User: user, M: rank.StagesOverFetch(m, stages), ExcludeItems: exclude, Filter: spec}
 	compute := func() ([]int, []float64, bool, error) {
 		parts, err := rt.scatter(ctx, tbl, shardReq)
@@ -278,14 +350,18 @@ func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int
 			for n, p := range survivors {
 				flat[n] = *p
 			}
+			mstart := time.Now()
 			items, scores := rank.MergeTopMStaged(m, stages, flat...)
+			act.Record("merge", mstart, time.Since(mstart), "degraded")
 			return items, scores, false, nil
 		}
 		flat := make([]rank.Partial, len(parts))
 		for n, p := range parts {
 			flat[n] = *p
 		}
+		mstart := time.Now()
 		items, scores := rank.MergeTopMStaged(m, stages, flat...)
+		act.Record("merge", mstart, time.Since(mstart), "")
 		return items, scores, true, nil
 	}
 	fp, cacheable := fingerprintFor(tbl.epoch, exclude, spec, stages)
@@ -293,7 +369,11 @@ func (rt *Router) recommendOne(ctx context.Context, tbl *routeTable, user, m int
 		items, scores, _, err = compute()
 		return items, scores, false, degraded, err
 	}
+	cstart := time.Now()
 	items, scores, cached, err = rt.cache.GetOrCompute(user, m, fp, compute)
+	if cached {
+		act.Record("cache", cstart, time.Since(cstart), "hit")
+	}
 	return items, scores, cached, degraded, err
 }
 
@@ -451,25 +531,39 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) int {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	eps := make(map[string]map[string]any, len(rt.m.endpoints))
+	for name, h := range rt.m.endpoints {
+		eps[name] = obs.EndpointSnapshot(h)
+	}
+	shardLat := make(map[string]map[string]any, len(rt.shardLat))
+	for url, h := range rt.shardLat {
+		shardLat[url] = obs.EndpointSnapshot(h)
+	}
 	out := map[string]any{
-		"uptime_seconds": time.Since(rt.m.start).Seconds(),
-		"requests":       rt.m.requests.Value(),
-		"errors":         rt.m.errors.Value(),
-		"degraded":       rt.m.degraded.Value(),
-		"scatters":       rt.m.scatters.Value(),
-		"shard_calls":    rt.m.shardCalls.Value(),
-		"shard_errors":   rt.m.shardErrors.Value(),
-		"hedges":         rt.m.hedges.Value(),
-		"hedges_denied":  rt.m.hedgesDenied.Value(),
-		"deadline_504s":  rt.m.deadline504s.Value(),
-		"table_flips":    rt.m.flips.Value(),
+		"uptime_seconds":        time.Since(rt.m.start).Seconds(),
+		"requests":              rt.m.requests.Value(),
+		"errors":                rt.m.errors.Value(),
+		"response_write_errors": rt.m.writeErrors.Value(),
+		"degraded":              rt.m.degraded.Value(),
+		"scatters":              rt.m.scatters.Value(),
+		"shard_calls":           rt.m.shardCalls.Value(),
+		"shard_errors":          rt.m.shardErrors.Value(),
+		"hedges":                rt.m.hedges.Value(),
+		"hedges_denied":         rt.m.hedgesDenied.Value(),
+		"deadline_504s":         rt.m.deadline504s.Value(),
+		"table_flips":           rt.m.flips.Value(),
+		"endpoints":             obs.Labeled{Label: "endpoint", Rows: eps},
+		// shard_latency observes whole callShard calls (hedges included)
+		// per shard URL — the per-shard view that pinpoints a slow or
+		// flapping partition.
+		"shard_latency": obs.Labeled{Label: "shard", Rows: shardLat},
 		"prober": map[string]any{
 			"probes":     rt.m.probes.Value(),
 			"failures":   rt.m.probeFailures.Value(),
 			"marks_down": rt.m.marksDown.Value(),
 			"repairs":    rt.m.repairs.Value(),
 		},
-		"shards_health": rt.healthRows(),
+		"shards_health": obs.LabeledList{Label: "shard", Key: "url", Rows: rt.healthRows()},
 		"batch_binary": map[string]any{
 			"requests":       rt.m.batchBinary.requests.Value(),
 			"users":          rt.m.batchBinary.users.Value(),
@@ -492,6 +586,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	}
 	if tbl := rt.table.Load(); tbl != nil {
 		out["epoch"] = tbl.epoch
+	}
+	// Same snapshot tree behind both views — they can never disagree.
+	if r.URL.Query().Get("format") == "prometheus" {
+		return obs.WriteExposition(w, out)
 	}
 	return writeJSON(w, http.StatusOK, out)
 }

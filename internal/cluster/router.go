@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -45,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rank"
 	"repro/internal/serve"
 )
@@ -149,6 +151,14 @@ type Config struct {
 	// Logf, when non-nil, receives progress lines (cmd/ocular-router
 	// wires log.Printf).
 	Logf func(format string, args ...any)
+	// TraceRing sizes the recent-traces ring served at GET /debug/traces.
+	// 0 means 256; negative disables tracing entirely.
+	TraceRing int
+	// TraceSlow, when > 0, logs a "slow request" line for every traced
+	// request at or above this duration.
+	TraceSlow time.Duration
+	// TraceLog receives the slow-request lines. Nil means slog.Default().
+	TraceLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -235,6 +245,12 @@ type Router struct {
 	// draining flips at the start of graceful shutdown: /readyz answers
 	// 503 while the data path keeps serving.
 	draining atomic.Bool
+	// tracer records per-request span timelines (nil when disabled).
+	tracer *obs.Tracer
+	// shardLat holds one latency histogram per shard URL, observing whole
+	// callShard calls (hedges and retries included). Built at
+	// construction, never mutated.
+	shardLat map[string]*obs.Histogram
 }
 
 // New builds a Router over cfg.Shards. The router starts with no route
@@ -305,6 +321,16 @@ func New(cfg Config) (*Router, error) {
 	}
 	for _, u := range cfg.Shards {
 		rt.health[u] = &shardHealthState{}
+	}
+	rt.shardLat = make(map[string]*obs.Histogram, len(cfg.Shards))
+	for _, u := range cfg.Shards {
+		rt.shardLat[u] = &obs.Histogram{}
+	}
+	if ring := cfg.TraceRing; ring >= 0 {
+		if ring == 0 {
+			ring = 256
+		}
+		rt.tracer = obs.NewTracer(ring, cfg.TraceSlow, cfg.TraceLog)
 	}
 	if cfg.BreakerThreshold > 0 {
 		rt.breakers = make(map[string]*breaker, len(cfg.Shards))
@@ -447,6 +473,7 @@ func countsAgainstBreaker(err error) bool {
 // whether failures are fatal (fail-closed) or degrade the merge.
 func (rt *Router) scatter(ctx context.Context, tbl *routeTable, req serve.ShardTopMRequest) ([]*rank.Partial, error) {
 	rt.m.scatters.Add(1)
+	act := obs.ActiveFrom(ctx)
 	parts := make([]*rank.Partial, len(tbl.shards))
 	errs := make([]error, len(tbl.shards))
 	sem := make(chan struct{}, rt.cfg.MaxFanout)
@@ -455,7 +482,19 @@ func (rt *Router) scatter(ctx context.Context, tbl *routeTable, req serve.ShardT
 		go func(i int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
+			start := time.Now()
 			p, err := rt.callShard(ctx, tbl.shards[i], req)
+			d := time.Since(start)
+			if h := rt.shardLat[tbl.shards[i].url]; h != nil {
+				h.Observe(d, err != nil)
+			}
+			if act != nil {
+				note := tbl.shards[i].url
+				if err != nil {
+					note += " error: " + err.Error()
+				}
+				act.Record("shard_call", start, d, note)
+			}
 			if err != nil {
 				errs[i] = err
 				return
@@ -682,6 +721,11 @@ func (rt *Router) postShardTopM(ctx context.Context, sh shardRoute, req serve.Sh
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
 			hreq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
 		}
+	}
+	// Propagate the trace ID alongside the deadline, so the shard's span
+	// records join this request's timeline under one ID.
+	if id := obs.ActiveFrom(ctx).ID(); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := rt.cfg.HTTPClient.Do(hreq)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rank"
 	"repro/internal/serve"
@@ -84,6 +85,9 @@ func (rt *Router) postShardTopMBinary(ctx context.Context, sh shardRoute, req se
 		if ms := time.Until(dl).Milliseconds(); ms > 0 {
 			hreq.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
 		}
+	}
+	if id := obs.ActiveFrom(ctx).ID(); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := rt.cfg.HTTPClient.Do(hreq)
 	if err != nil {

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves net/http/pprof on its own side listener at addr,
+// keeping the profiler off the serving mux (and its admission gate).
+// The returned listener reports the bound address (useful with ":0")
+// and closing it stops the profiler.
+func StartPprof(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln, nil
+}

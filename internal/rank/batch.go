@@ -75,7 +75,7 @@ func (e *Engine) TopMBatch(users []int, m, workers int, stages []Stage, filtersF
 				cols.AppendEmpty()
 				continue
 			}
-			items, scores, cached := e.topM(u, m, stages, filters)
+			items, scores, cached := e.topM(u, m, stages, filters, nil)
 			cols.Append(items, scores, cached)
 		}
 		return
@@ -92,7 +92,7 @@ func (e *Engine) TopMBatch(users []int, m, workers int, stages []Stage, filtersF
 			res[i] = batchRes{}
 			return
 		}
-		items, scores, cached := e.topM(users[i], m, stages, filters)
+		items, scores, cached := e.topM(users[i], m, stages, filters, nil)
 		res[i] = batchRes{items: items, scores: scores, cached: cached, ok: true}
 	})
 	for i := range res {

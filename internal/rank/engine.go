@@ -20,6 +20,7 @@ package rank
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Scorer produces the relevance scores a ranking starts from. Both
@@ -113,7 +114,7 @@ func (e *Engine) CacheLen() int { return e.cache.len() }
 // (u, m, filter fingerprints). Concurrent cacheable misses with equal keys
 // are coalesced: one computes, the rest wait and share the result.
 func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float64, cached bool) {
-	return e.topM(u, m, nil, filters)
+	return e.topM(u, m, nil, filters, nil)
 }
 
 // TopMStaged is TopM followed by the request's re-rank stages: the
@@ -124,21 +125,24 @@ func (e *Engine) TopM(u, m int, filters ...Filter) (items []int, scores []float6
 // stage configuration. An empty or all-nil stage list is byte-identical
 // to TopM — same results, same cache entries.
 func (e *Engine) TopMStaged(u, m int, stages []Stage, filters ...Filter) (items []int, scores []float64, cached bool) {
-	return e.topM(u, m, compactStages(stages), filters)
+	return e.topM(u, m, compactStages(stages), filters, nil)
 }
 
-func (e *Engine) topM(u, m int, stages []Stage, filters []Filter) (items []int, scores []float64, cached bool) {
+func (e *Engine) topM(u, m int, stages []Stage, filters []Filter, tm *Timings) (items []int, scores []float64, cached bool) {
 	flat := flatten(filters)
 	score := func(dst []float64) { e.scorer.ScoreUser(u, dst) }
 	fp, cacheable := fingerprintStaged(flat, stages)
 	if !cacheable || e.cache == nil {
 		e.stats.misses.Add(1)
-		items, scores = e.rankStaged(score, m, flat, stages)
+		items, scores = e.rankStaged(score, m, flat, stages, tm)
 		return items, scores, false
 	}
 	key := requestKey{user: u, m: m, filters: fp}
 	if items, scores, ok := e.cache.get(key); ok {
 		e.stats.hits.Add(1)
+		if tm != nil {
+			tm.Cached = true
+		}
 		return items, scores, true
 	}
 	c, leader := e.flight.join(key)
@@ -146,12 +150,15 @@ func (e *Engine) topM(u, m int, stages []Stage, filters []Filter) (items []int, 
 		<-c.done
 		if c.ok {
 			e.stats.coalesced.Add(1)
+			if tm != nil {
+				tm.Cached, tm.Coalesced = true, true
+			}
 			return c.items, c.scores, true
 		}
 		// The leader failed to publish (it panicked); fall back to an
 		// uncoalesced computation rather than propagating its failure.
 		e.stats.misses.Add(1)
-		items, scores = e.rankStaged(score, m, flat, stages)
+		items, scores = e.rankStaged(score, m, flat, stages, tm)
 		e.cache.put(key, items, scores)
 		return items, scores, false
 	}
@@ -162,7 +169,7 @@ func (e *Engine) topM(u, m int, stages []Stage, filters []Filter) (items []int, 
 			e.flight.abandon(key, c)
 		}
 	}()
-	items, scores = e.rankStaged(score, m, flat, stages)
+	items, scores = e.rankStaged(score, m, flat, stages, tm)
 	e.cache.put(key, items, scores)
 	e.flight.publish(key, c, items, scores)
 	published = true
@@ -176,25 +183,39 @@ func (e *Engine) topM(u, m int, stages []Stage, filters []Filter) (items []int, 
 // ranked stat but not the cache hit/miss counters (it never consults the
 // cache).
 func (e *Engine) Rank(score func(dst []float64), m int, filters ...Filter) (items []int, scores []float64) {
-	return e.rank(score, m, flatten(filters))
+	return e.rank(score, m, flatten(filters), nil)
 }
 
 // RankStaged is Rank followed by the request's re-rank stages — the
 // fold-in path of a staged arm. Like Rank it never consults the cache.
 func (e *Engine) RankStaged(score func(dst []float64), m int, stages []Stage, filters ...Filter) (items []int, scores []float64) {
-	return e.rankStaged(score, m, flatten(filters), compactStages(stages))
+	return e.rankStaged(score, m, flatten(filters), compactStages(stages), nil)
 }
 
 // rank is the shared score → filter → select execution over a pooled
-// buffer, compacting the survivors' scores alongside the items.
-func (e *Engine) rank(score func(dst []float64), m int, flat []Filter) ([]int, []float64) {
+// buffer, compacting the survivors' scores alongside the items. A
+// non-nil tm receives the score and (fused) filter+select wall times;
+// nil skips the clock reads entirely.
+func (e *Engine) rank(score func(dst []float64), m int, flat []Filter, tm *Timings) ([]int, []float64) {
 	e.stats.ranked.Add(1)
 	buf := e.getBuf()
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
 	score(buf)
+	var t1 time.Time
+	if tm != nil {
+		t1 = time.Now()
+		tm.Score += t1.Sub(t0)
+	}
 	items := selectFlat(buf, m, flat)
 	scores := make([]float64, len(items))
 	for n, i := range items {
 		scores[n] = buf[i]
+	}
+	if tm != nil {
+		tm.Select += time.Since(t1)
 	}
 	e.putBuf(buf)
 	return items, scores
@@ -203,12 +224,20 @@ func (e *Engine) rank(score func(dst []float64), m int, flat []Filter) ([]int, [
 // rankStaged extends rank with the post-selection stage pass: it selects
 // the stages' over-fetch, applies them, and truncates to m. With no
 // stages it is exactly rank.
-func (e *Engine) rankStaged(score func(dst []float64), m int, flat []Filter, stages []Stage) ([]int, []float64) {
+func (e *Engine) rankStaged(score func(dst []float64), m int, flat []Filter, stages []Stage, tm *Timings) ([]int, []float64) {
 	if len(stages) == 0 {
-		return e.rank(score, m, flat)
+		return e.rank(score, m, flat, tm)
 	}
-	items, scores := e.rank(score, StagesOverFetch(m, stages), flat)
-	return applyStages(m, stages, items, scores)
+	items, scores := e.rank(score, StagesOverFetch(m, stages), flat, tm)
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
+	items, scores = applyStages(m, stages, items, scores)
+	if tm != nil {
+		tm.Stages += time.Since(t0)
+	}
+	return items, scores
 }
 
 func (e *Engine) getBuf() []float64 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rank"
 	"repro/internal/wire"
 )
@@ -137,6 +138,13 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
 	status := sc.statusSlice(len(req.Users))
 	cols := &sc.cols
 	cols.Reset()
+	// One aggregate span for the whole batch (per-user spans would blow
+	// the span cap and tax every user); rankOne gets a nil recorder.
+	act := obs.ActiveFrom(r.Context())
+	var bstart time.Time
+	if act != nil {
+		bstart = time.Now()
+	}
 	if req.Tenant == "" {
 		// Default path: shared filters validated once, then the columnar
 		// engine entry point ranks the whole batch — per-user work is the
@@ -175,7 +183,7 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
 				cols.AppendEmpty()
 				continue
 			}
-			items, scores, cached, rerr := s.rankOne(rt, u, m, filters)
+			items, scores, cached, rerr := s.rankOne(nil, rt, u, m, filters)
 			if rerr != nil {
 				status[i] = wire.StatusError
 				cols.AppendEmpty()
@@ -186,6 +194,9 @@ func (s *Server) handleBatchBinary(w http.ResponseWriter, r *http.Request) int {
 			}
 			cols.Append(items, scores, cached)
 		}
+	}
+	if act != nil {
+		act.Record("batch_rank", bstart, time.Since(bstart), fmt.Sprintf("users=%d", len(req.Users)))
 	}
 	for i, c := range cols.Cached {
 		if c {
@@ -256,7 +267,7 @@ func (s *Server) handleShardTopMBinary(w http.ResponseWriter, r *http.Request) i
 		s.metrics.deadlineAborts.Add(1)
 		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
 	}
-	items, scores, _ := sn.engine.TopM(user, m, filters...)
+	items, scores, _ := s.shardRank(obs.ActiveFrom(r.Context()), sn, user, m, filters)
 	// Translate partition-local ids back to global while laying out the
 	// items column; the scores column is the engine's slice as-is.
 	cols := &sc.cols

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/explain"
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rank"
 )
@@ -20,7 +21,7 @@ import (
 // endpointNames registers every instrumented endpoint with Metrics.
 var endpointNames = []string{
 	"recommend", "foldin", "explain", "batch", "batch_binary", "ingest", "reload", "healthz", "readyz", "metrics",
-	"shard_topm", "shard_topm_binary",
+	"shard_topm", "shard_topm_binary", "debug_traces",
 }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -40,6 +41,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.metrics.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.metrics.instrument("debug_traces", s.handleDebugTraces))
 	return mux
 }
 
@@ -200,7 +202,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
-	resp, err := s.recommendOne(rt, req.User, m, extra)
+	resp, err := s.recommendOne(obs.ActiveFrom(r.Context()), rt, req.User, m, extra)
 	if err != nil {
 		return writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -213,8 +215,8 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) int {
 // be clamped. On tenant-routed requests it also feeds the arm's counters
 // and, when the user is in the tenant's shadow sample, launches the
 // off-path shadow comparison.
-func (s *Server) recommendOne(rt route, user, m int, extra []rank.Filter) (RecommendResponse, error) {
-	items, scores, cached, err := s.rankOne(rt, user, m, extra)
+func (s *Server) recommendOne(act *obs.Active, rt route, user, m int, extra []rank.Filter) (RecommendResponse, error) {
+	items, scores, cached, err := s.rankOne(act, rt, user, m, extra)
 	if err != nil {
 		return RecommendResponse{}, err
 	}
@@ -237,8 +239,9 @@ func (s *Server) recommendOne(rt route, user, m int, extra []rank.Filter) (Recom
 // user and return the engine's cache-shared slices (read-only for the
 // caller), leaving response shaping — JSON structs or binary columns —
 // to the transport. Arm counters and the shadow sample fire here so both
-// transports feed the same observability.
-func (s *Server) rankOne(rt route, user, m int, extra []rank.Filter) (items []int, scores []float64, cached bool, err error) {
+// transports feed the same observability. A non-nil act (the request is
+// traced) records the rank pipeline's per-stage spans.
+func (s *Server) rankOne(act *obs.Active, rt route, user, m int, extra []rank.Filter) (items []int, scores []float64, cached bool, err error) {
 	sn := rt.sn
 	if user < 0 || user >= sn.model.NumUsers() {
 		if rt.arm != nil {
@@ -249,7 +252,14 @@ func (s *Server) rankOne(rt route, user, m int, extra []rank.Filter) (items []in
 	filters := make([]rank.Filter, 0, len(extra)+1)
 	filters = append(filters, rank.TrainRow(sn.train, user))
 	filters = append(filters, extra...)
-	items, scores, cached = sn.engine.TopMStaged(user, m, sn.stages, filters...)
+	if act != nil {
+		var tm rank.Timings
+		start := time.Now()
+		items, scores, cached = sn.engine.TopMStagedTimed(user, m, sn.stages, &tm, filters...)
+		recordRankSpans(act, start, &tm)
+	} else {
+		items, scores, cached = sn.engine.TopMStaged(user, m, sn.stages, filters...)
+	}
 	if a := rt.arm; a != nil {
 		a.requests.Add(1)
 		if sh := rt.tenant.shadow; sh != nil {
@@ -496,6 +506,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	defer batchScratchPool.Put(sc)
 	results := sc.results(len(req.Users))
 	flat := sc.items(len(req.Users) * m)
+	// Per-user spans would drown a trace (and the ring's span cap) at
+	// batch sizes; the whole fan-out becomes one aggregate span instead,
+	// recorded below. rankOne therefore gets a nil recorder here.
 	serveUser := func(n int) {
 		u := req.Users[n]
 		rt, filters := defRt, extra
@@ -510,7 +523,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 				return
 			}
 		}
-		items, scores, cached, err := s.rankOne(rt, u, m, filters)
+		items, scores, cached, err := s.rankOne(nil, rt, u, m, filters)
 		if err != nil {
 			results[n] = BatchResult{User: u, Error: err.Error()}
 			if rt.arm != nil {
@@ -528,6 +541,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 			results[n].ArmModelVersion = rt.sn.version
 		}
 	}
+	act := obs.ActiveFrom(r.Context())
+	var bstart time.Time
+	if act != nil {
+		bstart = time.Now()
+	}
 	if len(req.Users) == 1 {
 		// Worker spin-up dominates a single-user batch; serve it inline.
 		serveUser(0)
@@ -535,6 +553,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		parallel.For(len(req.Users), s.cfg.Workers, func(n int, _ *parallel.Scratch) {
 			serveUser(n)
 		})
+	}
+	if act != nil {
+		act.Record("batch_rank", bstart, time.Since(bstart), fmt.Sprintf("users=%d", len(req.Users)))
 	}
 	return writeJSON(w, http.StatusOK, BatchResponse{Results: results, ModelVersion: s.snap.Load().version})
 }
@@ -822,5 +843,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	if s.registry != nil {
 		out["tenants"] = s.registry.metricsTree()
 	}
+	// Both views render the same snapshot tree, so they can never
+	// disagree; JSON stays the default.
+	if r.URL.Query().Get("format") == "prometheus" {
+		return obs.WriteExposition(w, out)
+	}
 	return writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugTraces serves the recent-traces ring, oldest first. With
+// tracing disabled the list is empty rather than the route missing, so
+// operators can tell "off" from "no traffic".
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) int {
+	return writeJSON(w, http.StatusOK, map[string]any{"traces": s.tracer.Traces()})
 }

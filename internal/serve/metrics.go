@@ -6,68 +6,16 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rank"
 )
 
-// latencyBucketBounds are the upper bounds (exclusive) of the request
-// latency histogram, chosen to straddle the expected serving regimes: a
-// cache hit is sub-100µs, a cache-miss ranking of a large catalogue is
-// single-digit milliseconds, a fold-in solve tens of milliseconds, and
-// anything in the top bucket deserves a look.
-var latencyBucketBounds = [...]time.Duration{
-	100 * time.Microsecond,
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-}
-
-var latencyBucketLabels = [...]string{
-	"<100us", "<1ms", "<10ms", "<100ms", "<1s", ">=1s",
-}
-
-// endpointMetrics counts requests, errors and a latency histogram for one
-// endpoint. The counters are expvar vars (atomic, individually snapshotable)
-// kept unpublished so several Servers can coexist in one process.
-type endpointMetrics struct {
-	requests    expvar.Int
-	errors      expvar.Int // responses with status >= 400
-	totalMicros expvar.Int
-	buckets     [len(latencyBucketBounds) + 1]expvar.Int
-}
-
-func (em *endpointMetrics) observe(d time.Duration, status int) {
-	em.requests.Add(1)
-	if status >= 400 {
-		em.errors.Add(1)
-	}
-	em.totalMicros.Add(d.Microseconds())
-	b := len(latencyBucketBounds)
-	for i, bound := range latencyBucketBounds {
-		if d < bound {
-			b = i
-			break
-		}
-	}
-	em.buckets[b].Add(1)
-}
-
-func (em *endpointMetrics) snapshot() map[string]any {
-	hist := make(map[string]int64, len(em.buckets))
-	for i := range em.buckets {
-		hist[latencyBucketLabels[i]] = em.buckets[i].Value()
-	}
-	out := map[string]any{
-		"requests":             em.requests.Value(),
-		"errors":               em.errors.Value(),
-		"latency_micros_total": em.totalMicros.Value(),
-		"latency_histogram":    hist,
-	}
-	if n := em.requests.Value(); n > 0 {
-		out["latency_micros_mean"] = float64(em.totalMicros.Value()) / float64(n)
-	}
-	return out
-}
+// Per-endpoint latency lives in obs.Histogram: log-scale buckets
+// (half-decade steps from 10µs to 10s) with coherent snapshots —
+// count, error count, sum and buckets all read from the same drained
+// cell, so the derived mean and the interpolated p50/p95/p99 can never
+// mix a fresh count with a stale sum the way the old six-bucket
+// expvar histogram could mid-burst.
 
 // Metrics aggregates serving statistics across all endpoints of a Server.
 // Cache and coalescing counters live in the shared rank.Stats, fed by the
@@ -75,10 +23,15 @@ func (em *endpointMetrics) snapshot() map[string]any {
 // cumulative.
 type Metrics struct {
 	start     time.Time
-	endpoints map[string]*endpointMetrics
+	endpoints map[string]*obs.Histogram
 	rank      *rank.Stats
+	tracer    *obs.Tracer // nil when tracing is disabled
 	reloads   expvar.Int
 	inFlight  expvar.Int
+	// writeErrors counts response writes that failed (client gone,
+	// broken pipe) — the encoder errors writeJSON and the binary frame
+	// writer otherwise discard.
+	writeErrors expvar.Int
 	// deadlineAborts counts shard requests aborted because their
 	// propagated deadline budget (see DeadlineHeader) had already expired
 	// before scoring started — wasted work the deadline check saved.
@@ -101,11 +54,11 @@ type Metrics struct {
 func newMetrics(endpointNames []string, stats *rank.Stats) *Metrics {
 	m := &Metrics{
 		start:     time.Now(),
-		endpoints: make(map[string]*endpointMetrics, len(endpointNames)),
+		endpoints: make(map[string]*obs.Histogram, len(endpointNames)),
 		rank:      stats,
 	}
 	for _, name := range endpointNames {
-		m.endpoints[name] = &endpointMetrics{}
+		m.endpoints[name] = &obs.Histogram{}
 	}
 	return m
 }
@@ -122,18 +75,21 @@ func (m *Metrics) CacheHitRate() float64 {
 }
 
 // snapshot renders the full metrics tree for the /metrics endpoint.
-// gate may be nil (admission control disabled).
+// gate may be nil (admission control disabled). The same tree feeds
+// both the JSON and the Prometheus views (obs.Labeled keeps the JSON
+// identical while naming the endpoint label for the exposition).
 func (m *Metrics) snapshot(version uint64, cacheEntries int, gate *Gate) map[string]any {
-	eps := make(map[string]any, len(m.endpoints))
-	for name, em := range m.endpoints {
-		eps[name] = em.snapshot()
+	eps := make(map[string]map[string]any, len(m.endpoints))
+	for name, h := range m.endpoints {
+		eps[name] = obs.EndpointSnapshot(h)
 	}
 	out := map[string]any{
-		"uptime_seconds":  time.Since(m.start).Seconds(),
-		"model_version":   version,
-		"model_reloads":   m.reloads.Value(),
-		"in_flight":       m.inFlight.Value(),
-		"deadline_aborts": m.deadlineAborts.Value(),
+		"uptime_seconds":        time.Since(m.start).Seconds(),
+		"model_version":         version,
+		"model_reloads":         m.reloads.Value(),
+		"in_flight":             m.inFlight.Value(),
+		"deadline_aborts":       m.deadlineAborts.Value(),
+		"response_write_errors": m.writeErrors.Value(),
 		"cache": map[string]any{
 			"hits": m.rank.Hits(),
 			// misses counts requests not answered from the cache;
@@ -146,7 +102,7 @@ func (m *Metrics) snapshot(version uint64, cacheEntries int, gate *Gate) map[str
 			"hit_rate":  m.CacheHitRate(),
 			"entries":   cacheEntries,
 		},
-		"endpoints": eps,
+		"endpoints": obs.Labeled{Label: "endpoint", Rows: eps},
 		"batch_binary": map[string]any{
 			"requests":       m.batchBinary.requests.Value(),
 			"users":          m.batchBinary.users.Value(),
@@ -160,28 +116,91 @@ func (m *Metrics) snapshot(version uint64, cacheEntries int, gate *Gate) map[str
 	return out
 }
 
+// untraced endpoints never produce trace records: health probes and
+// metrics scrapes would otherwise flush every interesting trace out of
+// the ring within one scrape interval.
+var untraced = map[string]bool{
+	"healthz": true, "readyz": true, "metrics": true, "debug_traces": true,
+}
+
+// countingWriter wraps the response writer to count failed writes —
+// once per request, however many Write calls the encoder makes.
+type countingWriter struct {
+	http.ResponseWriter
+	errs   *expvar.Int
+	failed bool
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	if err != nil && !cw.failed {
+		cw.failed = true
+		cw.errs.Add(1)
+	}
+	return n, err
+}
+
 // instrument wraps an endpoint handler with request counting, latency
-// observation and in-flight tracking. The endpoint name must have been
-// registered at Metrics construction.
+// observation, in-flight tracking, failed-write counting and — for the
+// data endpoints — request tracing: the trace header is adopted or
+// minted, echoed in the response, and the recorder rides the request
+// context so pipeline hooks can attach spans. The endpoint name must
+// have been registered at Metrics construction.
 func (m *Metrics) instrument(name string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
 	em := m.endpoints[name]
+	traced := !untraced[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		m.inFlight.Add(1)
+		var act *obs.Active
+		if traced {
+			if act = m.tracer.Start(name, r.Header.Get(obs.TraceHeader)); act != nil {
+				r = r.WithContext(obs.WithActive(r.Context(), act))
+				w.Header().Set(obs.TraceHeader, act.ID())
+			}
+		}
+		cw := &countingWriter{ResponseWriter: w, errs: &m.writeErrors}
 		start := time.Now()
 		// net/http recovers handler panics per-connection; the deferred
-		// observation keeps the in-flight gauge and histogram honest even
-		// then (a panic is recorded as a 500).
+		// observation keeps the in-flight gauge, histogram and trace ring
+		// honest even then (a panic is recorded as a 500).
 		status := http.StatusInternalServerError
 		defer func() {
-			em.observe(time.Since(start), status)
+			em.Observe(time.Since(start), status >= 400)
+			m.tracer.Finish(act, status)
 			m.inFlight.Add(-1)
 		}()
-		status = h(w, r)
+		status = h(cw, r)
+	}
+}
+
+// recordRankSpans translates one rank call's Timings into trace spans:
+// a hit is a single "rank" span noted cache_hit or coalesced; a miss
+// becomes sequential "score", "filter_select" and (if staged) "rerank"
+// spans laid out from start by the stage durations. Nil-safe via the
+// recorder: callers only pay for the clock reads when tracing.
+func recordRankSpans(act *obs.Active, start time.Time, tm *rank.Timings) {
+	if act == nil {
+		return
+	}
+	if tm.Cached {
+		note := "cache_hit"
+		if tm.Coalesced {
+			note = "coalesced"
+		}
+		act.Record("rank", start, time.Since(start), note)
+		return
+	}
+	act.Record("score", start, tm.Score, "")
+	t := start.Add(tm.Score)
+	act.Record("filter_select", t, tm.Select, "")
+	if tm.Stages > 0 {
+		act.Record("rerank", t.Add(tm.Select), tm.Stages, "")
 	}
 }
 
 // writeJSON encodes v with status code, reporting the status back to the
-// instrumentation wrapper.
+// instrumentation wrapper. Write failures are counted by the
+// instrumentation's response writer rather than inspected here.
 func writeJSON(w http.ResponseWriter, status int, v any) int {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

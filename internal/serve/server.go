@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/feed"
+	"repro/internal/obs"
 	"repro/internal/rank"
 	"repro/internal/sparse"
 )
@@ -126,6 +128,16 @@ type Config struct {
 	// mux. The zero value serves them: the binary transport changes no
 	// JSON semantics and costs nothing when unused.
 	DisableBinaryBatch bool
+	// TraceRing is the capacity of the recent-traces ring behind
+	// GET /debug/traces. 0 means 256; negative disables request tracing
+	// entirely (the endpoint then serves an empty list).
+	TraceRing int
+	// TraceSlow, when positive, emits a structured slow-request log line
+	// (log/slog) for any traced request at or above the threshold,
+	// carrying the trace ID that ties it to the shard spans behind it.
+	TraceSlow time.Duration
+	// TraceLog receives the slow-request lines; nil means slog.Default().
+	TraceLog *slog.Logger
 }
 
 // shardMode reports whether the configuration selects shard mode.
@@ -226,6 +238,19 @@ type Server struct {
 	// shadows. The maps are immutable after construction; per-model and
 	// per-arm snapshots swap atomically under reloadMu.
 	registry *registry
+	// tracer records per-request traces for /debug/traces; nil when
+	// Config.TraceRing is negative (tracing disabled).
+	tracer *obs.Tracer
+}
+
+// newTracer builds the server's tracer from the config: default ring
+// of 256, negative TraceRing disables.
+func newTracer(cfg Config) *obs.Tracer {
+	ring := cfg.TraceRing
+	if ring == 0 {
+		ring = 256
+	}
+	return obs.NewTracer(ring, cfg.TraceSlow, cfg.TraceLog)
 }
 
 // New builds a Server serving model. The model must match cfg.Train's
@@ -279,6 +304,8 @@ func newServer(model *core.Model, mapped *core.MappedModel, cfg Config) (*Server
 	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
 	s.gate = NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
 	s.metrics = newMetrics(endpointNames, s.rankStats)
+	s.tracer = newTracer(cfg)
+	s.metrics.tracer = s.tracer
 	if err := s.install(model, mapped); err != nil {
 		return nil, err
 	}

@@ -7,8 +7,23 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rank"
 )
+
+// shardRank is the shard paths' shared rank call (JSON and binary):
+// the engine's partition top-M, with per-stage spans recorded when the
+// request is traced.
+func (s *Server) shardRank(act *obs.Active, sn *snapshot, user, m int, filters []rank.Filter) (items []int, scores []float64, cached bool) {
+	if act == nil {
+		return sn.engine.TopM(user, m, filters...)
+	}
+	var tm rank.Timings
+	start := time.Now()
+	items, scores, cached = sn.engine.TopMTimed(user, m, &tm, filters...)
+	recordRankSpans(act, start, &tm)
+	return items, scores, cached
+}
 
 // Shard mode: one serve process owning an item partition of the catalogue.
 //
@@ -60,6 +75,8 @@ func NewShardFromFile(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, rankStats: &rank.Stats{}}
 	s.gate = NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
 	s.metrics = newMetrics(endpointNames, s.rankStats)
+	s.tracer = newTracer(cfg)
+	s.metrics.tracer = s.tracer
 	rng, err := core.OpenMappedModelRange(cfg.ModelPath, cfg.ShardLo, cfg.ShardHi)
 	if err != nil {
 		return nil, err
@@ -138,6 +155,7 @@ func (s *Server) buildShardMux() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", s.metrics.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.metrics.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.metrics.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.metrics.instrument("debug_traces", s.handleDebugTraces))
 	return mux
 }
 
@@ -242,7 +260,7 @@ func (s *Server) handleShardTopM(w http.ResponseWriter, r *http.Request) int {
 		s.metrics.deadlineAborts.Add(1)
 		return writeError(w, http.StatusGatewayTimeout, "deadline budget expired before scoring")
 	}
-	items, scores, _ := sn.engine.TopM(req.User, m, filters...)
+	items, scores, _ := s.shardRank(obs.ActiveFrom(r.Context()), sn, req.User, m, filters)
 	scored := make([]ScoredItem, len(items))
 	for n := range items {
 		scored[n] = ScoredItem{Item: items[n] + lo, Score: scores[n]}

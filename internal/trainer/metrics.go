@@ -1,0 +1,130 @@
+package trainer
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the trainer's optional observability surface: the feed
+// backlog gauge Run's poll loop maintains, per-phase duration
+// histograms fed by every cycle, and the last cycle's outcome. Wire it
+// through Config.Metrics and serve it with ServeHTTP (cmd/ocular-trainer
+// mounts it under -metrics-addr). All methods are nil-safe, so the
+// trainer threads it unconditionally.
+type Metrics struct {
+	start       time.Time
+	backlog     atomic.Int64
+	cycles      expvar.Int
+	cycleErrors expvar.Int
+
+	// One histogram per cycle phase plus the whole cycle; a phase a
+	// cycle skipped (e.g. train on the rollout-retry path) records
+	// nothing.
+	replay, train, save, rollout, warm, cycle obs.Histogram
+
+	mu           sync.Mutex
+	lastOutcome  string // "ok" or "error"; "" before the first cycle
+	lastError    string
+	lastFinished time.Time
+}
+
+// NewMetrics builds an empty Metrics.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// SetBacklog records the current feed backlog (feed.Count units since
+// the last completed cycle).
+func (m *Metrics) SetBacklog(n int64) {
+	if m == nil {
+		return
+	}
+	m.backlog.Store(n)
+}
+
+// ObserveCycle records one RunOnce outcome: the per-phase durations of
+// cy (when non-nil) and whether the cycle succeeded.
+func (m *Metrics) ObserveCycle(cy *Cycle, err error) {
+	if m == nil {
+		return
+	}
+	m.cycles.Add(1)
+	if err != nil {
+		m.cycleErrors.Add(1)
+	}
+	if cy != nil {
+		for _, ph := range []struct {
+			h *obs.Histogram
+			d time.Duration
+		}{
+			{&m.replay, cy.ReplayDur},
+			{&m.train, cy.TrainDur},
+			{&m.save, cy.SaveDur},
+			{&m.rollout, cy.RolloutDur},
+			{&m.warm, cy.WarmDur},
+			{&m.cycle, cy.Duration},
+		} {
+			if ph.d > 0 {
+				ph.h.Observe(ph.d, err != nil)
+			}
+		}
+	}
+	m.mu.Lock()
+	if err != nil {
+		m.lastOutcome, m.lastError = "error", err.Error()
+	} else {
+		m.lastOutcome, m.lastError = "ok", ""
+	}
+	m.lastFinished = time.Now()
+	m.mu.Unlock()
+}
+
+// snapshot builds the metrics tree served in both formats.
+func (m *Metrics) snapshot() map[string]any {
+	phases := map[string]map[string]any{
+		"replay":  obs.EndpointSnapshot(&m.replay),
+		"train":   obs.EndpointSnapshot(&m.train),
+		"save":    obs.EndpointSnapshot(&m.save),
+		"rollout": obs.EndpointSnapshot(&m.rollout),
+		"warm":    obs.EndpointSnapshot(&m.warm),
+		"cycle":   obs.EndpointSnapshot(&m.cycle),
+	}
+	out := map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"feed_backlog":   m.backlog.Load(),
+		"cycles":         m.cycles.Value(),
+		"cycle_errors":   m.cycleErrors.Value(),
+		"phases":         obs.Labeled{Label: "phase", Rows: phases},
+	}
+	m.mu.Lock()
+	if m.lastOutcome != "" {
+		last := map[string]any{
+			"outcome":      m.lastOutcome,
+			"finished_ago": time.Since(m.lastFinished).Seconds(),
+		}
+		if m.lastError != "" {
+			last["error"] = m.lastError
+		}
+		out["last_cycle"] = last
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// ServeHTTP answers GET /metrics: JSON by default,
+// ?format=prometheus for text exposition — both from one snapshot.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	out := m.snapshot()
+	if r.URL.Query().Get("format") == "prometheus" {
+		obs.WriteExposition(w, out)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -1,0 +1,91 @@
+package trainer
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.SetBacklog(5)
+	m.ObserveCycle(&Cycle{}, nil)
+	m.ObserveCycle(nil, errors.New("x"))
+}
+
+func TestMetricsObserveCycle(t *testing.T) {
+	m := NewMetrics()
+	m.SetBacklog(42)
+	m.ObserveCycle(&Cycle{
+		ReplayDur: 2 * time.Millisecond,
+		TrainDur:  30 * time.Millisecond,
+		SaveDur:   time.Millisecond,
+		// Rollout skipped this cycle: must record nothing.
+		Duration: 40 * time.Millisecond,
+	}, nil)
+	m.ObserveCycle(&Cycle{Duration: time.Millisecond}, errors.New("train blew up"))
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, req)
+	var out struct {
+		Backlog     int64 `json:"feed_backlog"`
+		Cycles      int64 `json:"cycles"`
+		CycleErrors int64 `json:"cycle_errors"`
+		Phases      map[string]struct {
+			Requests uint64  `json:"requests"`
+			P50      float64 `json:"p50_micros"`
+		} `json:"phases"`
+		LastCycle struct {
+			Outcome string `json:"outcome"`
+			Error   string `json:"error"`
+		} `json:"last_cycle"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Backlog != 42 || out.Cycles != 2 || out.CycleErrors != 1 {
+		t.Fatalf("backlog=%d cycles=%d errors=%d", out.Backlog, out.Cycles, out.CycleErrors)
+	}
+	if out.Phases["train"].Requests != 1 || out.Phases["train"].P50 <= 0 {
+		t.Fatalf("train phase = %+v", out.Phases["train"])
+	}
+	if out.Phases["rollout"].Requests != 0 {
+		t.Fatal("skipped rollout phase recorded an observation")
+	}
+	if out.Phases["cycle"].Requests != 2 {
+		t.Fatalf("cycle phase requests = %d, want 2", out.Phases["cycle"].Requests)
+	}
+	if out.LastCycle.Outcome != "error" || out.LastCycle.Error != "train blew up" {
+		t.Fatalf("last_cycle = %+v", out.LastCycle)
+	}
+}
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveCycle(&Cycle{TrainDur: time.Millisecond, Duration: 2 * time.Millisecond}, nil)
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	if err := obs.CheckExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("trainer exposition fails the checker: %v", err)
+	}
+	for _, want := range []string{
+		"ocular_feed_backlog 0",
+		"ocular_cycles 1",
+		`ocular_phases_requests{phase="train"} 1`,
+		`ocular_last_cycle_outcome{value="ok"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("trainer exposition missing %q", want)
+		}
+	}
+}

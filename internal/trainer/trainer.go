@@ -118,6 +118,9 @@ type Config struct {
 	// HTTPClient overrides the http.Client used for rollout and cache
 	// warming (tests; custom timeouts). Nil means a 30s-timeout client.
 	HTTPClient *http.Client
+	// Metrics, when non-nil, receives the backlog gauge and per-cycle
+	// phase durations (cmd/ocular-trainer serves it under -metrics-addr).
+	Metrics *Metrics
 	// Logf, when non-nil, receives progress lines (cmd/ocular-trainer
 	// wires log.Printf).
 	Logf func(format string, args ...any)
@@ -183,6 +186,15 @@ type Cycle struct {
 	// ranked into the server's cache after the rollout.
 	CacheWarmed int
 	Duration    time.Duration
+	// Phase durations: replay covers the feed read and the matrix fold,
+	// train the solver, save the artifact write, rollout the serving-tier
+	// push (reload handshake / quorum + flip), warm the cache warming.
+	// A skipped phase stays zero.
+	ReplayDur  time.Duration
+	TrainDur   time.Duration
+	SaveDur    time.Duration
+	RolloutDur time.Duration
+	WarmDur    time.Duration
 }
 
 // Trainer runs retraining cycles. Methods must not be called
@@ -275,15 +287,16 @@ func New(cfg Config) (*Trainer, error) {
 // warm-start, train, save, and — when a server is configured — roll out
 // and warm its cache. Triggers are not consulted; Run is the loop that
 // consults them.
-func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
+func (t *Trainer) RunOnce(ctx context.Context) (cy *Cycle, err error) {
 	start := time.Now()
+	defer func() { t.cfg.Metrics.ObserveCycle(cy, err) }()
 	// Snapshot the trigger estimator before the replay: lastCount must be
 	// in feed.Count's units (so a torn-but-counted record cannot leave a
 	// phantom backlog) and from before training starts (so events
 	// arriving mid-cycle still show as backlog at the next poll instead
 	// of being silently absorbed untrained).
 	estimate, estErr := feed.Count(t.cfg.FeedDir)
-	cy := &Cycle{}
+	cy = &Cycle{}
 
 	if t.rolloutPending && t.last != nil && estErr == nil && estimate == t.savedEstimate {
 		// The artifact at ModelPath already covers this feed (nothing was
@@ -298,6 +311,7 @@ func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
 		cy.Users, cy.Items = t.last.NumUsers(), t.last.NumItems()
 		t.cfg.Logf("feed unchanged since the last save; retrying rollout without retraining")
 	} else {
+		rstart := time.Now()
 		events, err := feed.Events(t.cfg.FeedDir)
 		if err != nil {
 			return nil, err
@@ -306,6 +320,7 @@ func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
 		cy.NewPositives = int64(len(events)) - t.lastCount
 
 		m, skipped := t.buildMatrix(events)
+		cy.ReplayDur = time.Since(rstart)
 		if m.Rows() == 0 || m.Cols() == 0 {
 			return nil, fmt.Errorf("trainer: nothing to train on (no base matrix, empty feed)")
 		}
@@ -325,15 +340,19 @@ func (t *Trainer) RunOnce(ctx context.Context) (*Cycle, error) {
 			trainCfg.WarmStart = warm
 		}
 		t.cfg.Logf("training on %v (warm=%v grown=%v, %d feed positives)", m, cy.WarmStarted, cy.Grown, len(events))
+		tstart := time.Now()
 		res, err := core.Train(m, trainCfg)
+		cy.TrainDur = time.Since(tstart)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: %w", err)
 		}
 		cy.Iterations, cy.Converged = res.Iterations(), res.Converged
 
+		sstart := time.Now()
 		if err := res.Model.SaveModelFileOpts(t.cfg.ModelPath, t.cfg.Save); err != nil {
 			return nil, err
 		}
+		cy.SaveDur = time.Since(sstart)
 		t.last = res.Model
 		t.savedEvents = int64(len(events))
 		t.savedEstimate = estimate
@@ -418,21 +437,27 @@ func (t *Trainer) hasRolloutTarget() bool {
 // — and warms the front-end's rank cache for the hottest users
 // (t.hotUsers, computed when the model was trained).
 func (t *Trainer) rollout(ctx context.Context, cy *Cycle) error {
+	rstart := time.Now()
 	if len(t.cfg.ShardURLs) > 0 {
 		if err := t.rolloutQuorum(ctx, cy); err != nil {
+			cy.RolloutDur = time.Since(rstart)
 			return err
 		}
 	} else {
 		resp, err := t.pushReload(ctx, t.cfg.ServerURL)
 		if err != nil {
+			cy.RolloutDur = time.Since(rstart)
 			return fmt.Errorf("trainer: rollout: %w", err)
 		}
 		cy.ServerVersion, cy.Mapped, cy.ServedFloat32 = resp.ModelVersion, resp.Mapped, resp.Float32
 		t.cfg.Logf("rollout confirmed: server at version %d (%s, mapped=%v float32=%v)",
 			resp.ModelVersion, resp.Model, resp.Mapped, resp.Float32)
 	}
+	cy.RolloutDur = time.Since(rstart)
 	if len(t.hotUsers) > 0 {
+		wstart := time.Now()
 		warmed, err := t.warmCache(ctx)
+		cy.WarmDur = time.Since(wstart)
 		cy.CacheWarmed = warmed
 		if err != nil {
 			// Warming is an optimization on top of a rollout that already
@@ -719,6 +744,7 @@ func (t *Trainer) Run(ctx context.Context) error {
 				t.cfg.Logf("feed poll: %v", err)
 				continue
 			}
+			t.cfg.Metrics.SetBacklog(n - t.lastCount)
 			if !t.due(n - t.lastCount) {
 				continue
 			}

@@ -250,6 +250,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	ingest(t, ts.URL, map[string]any{"user": u, "items": newItems})
 	ingest(t, ts.URL, map[string]any{"user": newUser, "items": history})
 
+	mets := NewMetrics()
 	tr, err := New(Config{
 		FeedDir:        feedDir,
 		Base:           base,
@@ -260,6 +261,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 		WarmCacheUsers: 16,
 		WarmCacheM:     8,
 		Logf:           t.Logf,
+		Metrics:        mets,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -267,6 +269,24 @@ func TestPipelineEndToEnd(t *testing.T) {
 	cy, err := tr.RunOnce(context.Background())
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// The wired Metrics saw the cycle: each phase that ran landed one
+	// observation in its histogram.
+	if mets.cycles.Value() != 1 || mets.cycleErrors.Value() != 0 {
+		t.Fatalf("metrics cycles=%d errors=%d, want 1/0", mets.cycles.Value(), mets.cycleErrors.Value())
+	}
+	for name, h := range map[string]uint64{
+		"replay":  mets.replay.Snapshot().Count,
+		"train":   mets.train.Snapshot().Count,
+		"save":    mets.save.Snapshot().Count,
+		"rollout": mets.rollout.Snapshot().Count,
+		"warm":    mets.warm.Snapshot().Count,
+		"cycle":   mets.cycle.Snapshot().Count,
+	} {
+		if h != 1 {
+			t.Errorf("phase %s recorded %d observations, want 1", name, h)
+		}
 	}
 
 	// Warm-start path, not a cold retrain; grown for the new user.
